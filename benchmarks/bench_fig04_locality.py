@@ -1,0 +1,42 @@
+"""Figure 4: sensitivity of per-node throughput to the degree of
+locality in a 64x64 (4096-core) network.
+
+The paper sweeps the exponential distribution's mean hop distance
+(1/lambda) from 1 to 16 and finds performance highly sensitive to it.
+"""
+
+from conftest import once
+from repro.experiments import (
+    format_table,
+    locality_sweep,
+    paper_vs_measured,
+    scaled_cycles,
+)
+
+# 64x64 runs are expensive; the bench uses a reduced cycle budget.
+MEAN_DISTANCES = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def test_fig4_locality_sensitivity(benchmark, report):
+    def run():
+        return locality_sweep(
+            MEAN_DISTANCES, 4096, scaled_cycles(2500), epoch=1200, seed=3
+        )
+
+    results = once(benchmark, run)
+    rows = [(d, r.throughput_per_node) for d, r in results]
+    drop = 1 - rows[-1][1] / rows[0][1]
+    monotone = all(rows[i][1] >= rows[i + 1][1] * 0.92 for i in range(len(rows) - 1))
+    report(
+        "fig4",
+        paper_vs_measured(
+            "Fig 4: per-node throughput vs average hop distance (64x64)",
+            [
+                ("throughput highly sensitive to locality", "large drop 1 -> 16 hops",
+                 f"-{100*drop:.0f}%", drop > 0.3),
+                ("roughly monotone decline", "yes", str(monotone), monotone),
+            ],
+        )
+        + format_table(["avg hop distance", "IPC/node"], rows),
+    )
+    assert drop > 0.3

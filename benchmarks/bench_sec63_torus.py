@@ -1,0 +1,67 @@
+"""§6.3 (torus note): scalability trends hold in a torus topology, and
+the torus yields roughly 10% higher throughput for all networks thanks
+to its wrap-around links."""
+
+from conftest import once
+from repro.experiments import (
+    format_table,
+    paper_vs_measured,
+    scaled_cycles,
+    scaling_sweep,
+)
+
+SIZES = (16, 256)
+
+
+def _cycles_for(size):
+    return scaled_cycles({16: 8000, 256: 6000}[size])
+
+
+def test_sec63_torus_trends(benchmark, report):
+    def run():
+        mesh = scaling_sweep(
+            SIZES, _cycles_for, networks=("bless", "bless-throttling")
+        )
+        torus = scaling_sweep(
+            SIZES, _cycles_for, networks=("bless", "bless-throttling"),
+            topology="torus",
+        )
+        return mesh, torus
+
+    mesh, torus = once(benchmark, run)
+    rows = []
+    for i, size in enumerate(SIZES):
+        rows.append(
+            (size,
+             mesh["bless"][i][1].throughput_per_node,
+             torus["bless"][i][1].throughput_per_node,
+             mesh["bless-throttling"][i][1].throughput_per_node,
+             torus["bless-throttling"][i][1].throughput_per_node)
+        )
+    torus_gain = (
+        torus["bless"][-1][1].throughput_per_node
+        / mesh["bless"][-1][1].throughput_per_node
+        - 1
+    )
+    # same trend: throttling helps on the torus too
+    torus_throttle_gain = (
+        torus["bless-throttling"][-1][1].throughput_per_node
+        / torus["bless"][-1][1].throughput_per_node
+        - 1
+    )
+    claims = [
+        ("torus outperforms mesh (baseline BLESS)", "~+10%",
+         f"{100*torus_gain:+.1f}%", torus_gain > 0.0),
+        ("throttling still helps on the torus", "same trends",
+         f"{100*torus_throttle_gain:+.1f}%", torus_throttle_gain > 0.0),
+    ]
+    report(
+        "sec63_torus",
+        paper_vs_measured("§6.3: torus topology comparison", claims)
+        + format_table(
+            ["cores", "mesh BLESS", "torus BLESS",
+             "mesh BLESS-Throt", "torus BLESS-Throt"],
+            rows,
+        ),
+    )
+    assert all(c[3] for c in claims)

@@ -1,0 +1,36 @@
+"""§6.5: hardware cost of the mechanism.
+
+Per node: a W-bit shift register (W=128) with an up/down counter for
+the starvation rate, a free-running 7-bit throttle counter with one
+comparator, and a quantized rate register — 149 bits of storage total,
+"a minimal cost compared to (for example) the 128KB L1 cache".
+"""
+
+from conftest import once
+from repro.control import mechanism_hardware_cost
+from repro.experiments import format_table, paper_vs_measured
+
+
+def test_sec65_hardware_cost(benchmark, report):
+    cost = once(benchmark, mechanism_hardware_cost)
+    rows = [
+        ("starvation shift register", cost.shift_register_bits),
+        ("starvation up/down counter", cost.starvation_counter_bits),
+        ("throttle counter (7-bit)", cost.throttle_counter_bits),
+        ("throttle-rate register", cost.rate_register_bits),
+        ("total bits", cost.total_bits),
+    ]
+    claims = [
+        ("total per-node storage", "149 bits", f"{cost.total_bits} bits",
+         cost.total_bits == 149),
+        ("counters", "2", str(cost.counters), cost.counters == 2),
+        ("comparators", "1", str(cost.comparators), cost.comparators == 1),
+        ("fraction of a 128KB L1", "negligible",
+         f"{100*cost.fraction_of_l1():.4f}%", cost.fraction_of_l1() < 0.0002),
+    ]
+    report(
+        "sec65_hw",
+        paper_vs_measured("§6.5: per-node hardware cost", claims)
+        + format_table(["component", "bits"], rows),
+    )
+    assert all(c[3] for c in claims)

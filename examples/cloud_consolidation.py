@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Cloud-consolidation scenario: protecting light tenants from noisy
+neighbors on a shared many-core chip.
+
+The paper motivates large CMPs with "cloud computing systems which
+aggregate many workloads onto one substrate" (§6.1).  This example
+consolidates two tenants on an 8x8 mesh:
+
+- a batch tenant running memory-thrashing analytics (mcf, lbm — IPF ~ 1),
+- a latency-sensitive tenant running compute-bound services
+  (gromacs, h264ref — IPF 19 to 310).
+
+Without congestion control the batch tenant floods the bufferless
+network and starves the service tenant's cache misses.  The mechanism
+identifies the batch applications by their low Instructions-per-Flit
+and throttles only them.
+
+Run:  python examples/cloud_consolidation.py
+"""
+
+import numpy as np
+
+from repro import (
+    CentralController,
+    ControlParams,
+    NoController,
+    SimulationConfig,
+    Simulator,
+    Workload,
+)
+
+CYCLES = 20_000
+EPOCH = 2_000
+
+BATCH_APPS = ("mcf", "lbm")
+SERVICE_APPS = ("gromacs", "h264ref")
+
+
+def build_workload(rng: np.random.Generator) -> Workload:
+    """Half the chip per tenant, interleaved by row pairs."""
+    names = []
+    for node in range(64):
+        row = node // 8
+        pool = BATCH_APPS if (row // 2) % 2 == 0 else SERVICE_APPS
+        names.append(pool[rng.integers(0, len(pool))])
+    return Workload(tuple(names), category="CLOUD")
+
+
+def tenant_ipc(result, workload, apps):
+    nodes = [i for i, a in enumerate(workload.app_names) if a in apps]
+    return float(result.ipc[nodes].mean())
+
+
+def main():
+    rng = np.random.default_rng(7)
+    workload = build_workload(rng)
+
+    runs = {}
+    for label, controller in (
+        ("baseline", NoController()),
+        ("with congestion control", CentralController(ControlParams(epoch=EPOCH))),
+    ):
+        cfg = SimulationConfig(workload, seed=3, epoch=EPOCH, controller=controller)
+        runs[label] = Simulator(cfg).run(CYCLES)
+
+    print(f"{'':28s} {'batch IPC':>10s} {'service IPC':>12s} {'system':>8s} {'starved':>8s}")
+    for label, res in runs.items():
+        print(
+            f"{label:28s} "
+            f"{tenant_ipc(res, workload, BATCH_APPS):10.3f} "
+            f"{tenant_ipc(res, workload, SERVICE_APPS):12.3f} "
+            f"{res.system_throughput:8.2f} "
+            f"{res.mean_port_starvation:8.3f}"
+        )
+
+    base, ctl = runs["baseline"], runs["with congestion control"]
+    service_gain = (
+        tenant_ipc(ctl, workload, SERVICE_APPS)
+        / tenant_ipc(base, workload, SERVICE_APPS)
+        - 1
+    )
+    print(
+        f"\nservice-tenant speedup from application-aware throttling: "
+        f"{100 * service_gain:+.1f}%"
+    )
+    print(
+        "the controller throttled only the low-IPF (batch) nodes; "
+        "responses to other tenants' requests were never throttled."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Extending the library: writing your own congestion controller.
+
+A controller is any object with the :class:`repro.Controller` interface:
+``on_epoch(view)`` receives each node's measured IPF and starvation
+rate every epoch and returns per-node throttling rates for the
+Algorithm-3 injection gate.
+
+This example implements a *utilization-target* controller — a simple
+AIMD loop steering network utilization toward a set-point, throttling
+the most network-intensive half of the nodes — and races it against
+the paper's mechanism on a congested workload.  (Spoiler: the paper's
+starvation-triggered, IPF-proportional policy usually wins, but the
+AIMD loop is a reasonable 20-line baseline.)
+
+Run:  python examples/custom_controller.py
+"""
+
+import numpy as np
+
+from repro import (
+    CentralController,
+    ControlParams,
+    Controller,
+    EpochView,
+    SimulationConfig,
+    Simulator,
+    make_category_workload,
+)
+
+CYCLES = 20_000
+EPOCH = 1_000
+
+
+class UtilizationTargetController(Controller):
+    """AIMD throttling toward a network-utilization set-point."""
+
+    def __init__(self, target: float = 0.6, step: float = 0.08):
+        self.target = target
+        self.step = step
+        self._rate = 0.0
+
+    def on_epoch(self, view: EpochView) -> np.ndarray:
+        if view.utilization > self.target:
+            self._rate = min(self._rate + self.step, 0.9)  # additive increase
+        else:
+            self._rate = self._rate / 2.0  # multiplicative decrease
+            if self._rate < 0.05:
+                self._rate = 0.0
+        rates = np.zeros(view.active.shape[0])
+        ipf = np.minimum(view.ipf, 1e6)
+        if self._rate > 0 and view.active.any():
+            intensive = view.active & (ipf < np.median(ipf[view.active]))
+            rates[intensive] = self._rate
+        return rates
+
+    def describe(self) -> str:
+        return f"UtilizationTarget(target={self.target})"
+
+
+def main():
+    rng = np.random.default_rng(21)
+    workload = make_category_workload("HM", 16, rng)
+
+    contenders = {
+        "no control": None,
+        "AIMD utilization target": UtilizationTargetController(target=0.6),
+        "paper mechanism": CentralController(ControlParams(epoch=EPOCH)),
+    }
+    print(f"{'controller':26s} {'sys IPC':>8s} {'util':>6s} {'latency':>8s}")
+    results = {}
+    for label, controller in contenders.items():
+        kw = {"controller": controller} if controller else {}
+        cfg = SimulationConfig(workload, seed=2, epoch=EPOCH, **kw)
+        res = Simulator(cfg).run(CYCLES)
+        results[label] = res
+        print(
+            f"{label:26s} {res.system_throughput:8.2f} "
+            f"{res.network_utilization:6.2f} {res.avg_net_latency:8.1f}"
+        )
+
+    base = results["no control"].system_throughput
+    for label in ("AIMD utilization target", "paper mechanism"):
+        gain = results[label].system_throughput / base - 1
+        print(f"{label}: {100 * gain:+.1f}% vs no control")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Hot-spot traffic analysis (§7 "Traffic Engineering").
+
+Multi-threaded workloads communicate regionally, concentrating load on
+a few nodes (a lock home, a memory controller, an accelerator).  This
+example builds such a hot-spot on an 8x8 mesh, shows how differently
+congestion presents compared to spread traffic (latency percentiles,
+localized starvation), and why source throttling — which helps spread
+congestion — buys little here: the bottleneck is one node's service
+capacity, which admission control cannot increase.
+
+Run:  python examples/hotspot_analysis.py
+"""
+
+import numpy as np
+
+from repro import (
+    CentralController,
+    ControlParams,
+    HotspotLocality,
+    Mesh2D,
+    NoController,
+    SimulationConfig,
+    Simulator,
+    make_category_workload,
+)
+
+CYCLES = 15_000
+EPOCH = 1_500
+HOT_NODES = (27, 36)  # two central nodes, e.g. memory controllers
+
+
+def run(workload, locality, controller):
+    cfg = SimulationConfig(workload, seed=5, epoch=EPOCH, locality=locality,
+                           controller=controller)
+    return Simulator(cfg).run(CYCLES)
+
+
+def describe(label, res, hot_nodes=()):
+    line = (
+        f"{label:24s} sysIPC={res.system_throughput:6.2f} "
+        f"util={res.network_utilization:.2f} "
+        f"p50={res.latency_percentile(50):3d}cy "
+        f"p99={res.latency_percentile(99):3d}cy"
+    )
+    if hot_nodes:
+        region = res.port_starvation_rate
+        hot_region = max(float(region[n]) for n in hot_nodes)
+        line += (f"  starvation: median={np.median(region):.2f} "
+                 f"hot-region-max={region.max():.2f}")
+    print(line)
+
+
+def main():
+    rng = np.random.default_rng(11)
+    workload = make_category_workload("H", 64, rng)
+    mesh = Mesh2D(8)
+    spread = "exponential"
+    hotspot = HotspotLocality(mesh, hot_nodes=HOT_NODES, hot_fraction=0.35)
+
+    print("traffic pattern comparison (baseline, no control):")
+    spread_base = run(workload, spread, NoController())
+    hot_base = run(workload, hotspot, NoController())
+    describe("spread (lambda=1)", spread_base)
+    describe("hot-spot (35% hot)", hot_base, HOT_NODES)
+
+    print("\ndoes source throttling help?")
+    spread_ctl = run(workload, spread,
+                     CentralController(ControlParams(epoch=EPOCH)))
+    hot_ctl = run(workload, hotspot,
+                  CentralController(ControlParams(epoch=EPOCH)))
+    gain_spread = spread_ctl.system_throughput / spread_base.system_throughput - 1
+    gain_hot = hot_ctl.system_throughput / hot_base.system_throughput - 1
+    describe("spread + throttling", spread_ctl)
+    describe("hot-spot + throttling", hot_ctl, HOT_NODES)
+    print(f"\nthrottling gain on spread congestion:   {100*gain_spread:+.1f}%")
+    print(f"throttling gain on hot-spot congestion: {100*gain_hot:+.1f}%")
+    print(
+        "\nas §7 of the paper argues, hot-spots call for traffic\n"
+        "engineering (routing around the hot region) rather than source\n"
+        "throttling: the serialized hot node, not network admission,\n"
+        "is the binding constraint."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Simulation configuration.
+
+Defaults follow the paper's Table 2:
+
+======================  =============================================
+Network topology        2D mesh (``"mesh"``; ``"torus"`` supported)
+Routing algorithm       FLIT-BLESS (``network="bless"``)
+Router (link) latency   2 (1) cycles
+Core model              out-of-order, 3 insns/cycle, 1 mem insn/cycle
+Instruction window      128 instructions
+Cache block             32 bytes (2 reply flits over 128-bit links)
+L1 cache                private (its miss stream drives the traffic)
+L2 cache                shared, distributed, perfect
+L2 address mapping      per-block interleaving (uniform striping);
+                        randomized exponential for locality studies
+======================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Union
+
+from repro.control.base import Controller, NoController
+from repro.power.model import PowerCoefficients
+from repro.traffic.workloads import Workload
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to build a :class:`~repro.sim.Simulator`.
+
+    ``locality`` may be a string (``"uniform"``, ``"exponential"``,
+    ``"powerlaw"``) resolved with ``locality_param``, or a pre-built
+    sampler object from :mod:`repro.traffic.locality`.
+    """
+
+    workload: Workload
+    seed: int = 0
+
+    # --- topology / network ------------------------------------------
+    topology: str = "mesh"  # "mesh" | "torus"
+    width: int = 0  # 0: inferred square from the workload size
+    height: int = 0
+    network: str = "bless"  # "bless" | "buffered"
+    router_latency: int = 2
+    link_latency: int = 1
+    eject_width: int = 1
+    arbitration: str = "oldest_first"
+    buffer_capacity: int = 16  # buffered network: 4 VCs x 4 flits
+    queue_capacity: int = 64  # NI packet queues (requests / responses)
+
+    # --- core / memory (Table 2) --------------------------------------
+    issue_width: int = 3
+    window_size: int = 128
+    mshr_limit: int = 16
+    request_flits: int = 1
+    reply_flits: int = 2  # 32-byte block over 128-bit flits
+    l2_latency: int = 6
+
+    # --- traffic -------------------------------------------------------
+    locality: Union[str, object] = "uniform"
+    locality_param: float = 1.0  # mean hop distance (exp) or alpha (powerlaw)
+    phase_sigma: float = 0.4
+    phase_length: int = 20_000
+
+    # --- control ---------------------------------------------------------
+    controller: Controller = field(default_factory=NoController)
+    epoch: int = 10_000  # controller/measurement period T
+    model_control_traffic: bool = False
+
+    # --- power ----------------------------------------------------------
+    power: PowerCoefficients = field(default_factory=PowerCoefficients)
+
+    def __post_init__(self):
+        n = self.workload.num_nodes
+        if self.width == 0:
+            side = int(round(n ** 0.5))
+            if side * side != n:
+                raise ValueError(
+                    f"workload size {n} is not square; pass width/height"
+                )
+            self.width = side
+        if self.height == 0:
+            self.height = self.width
+        if self.width * self.height != n:
+            raise ValueError(
+                f"{self.width}x{self.height} topology does not fit "
+                f"{n}-node workload"
+            )
+        if self.topology not in ("mesh", "torus"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.network not in ("bless", "buffered"):
+            raise ValueError(f"unknown network {self.network!r}")
+        if self.epoch < 1:
+            raise ValueError("epoch must be positive")
+
+    @property
+    def hop_latency(self) -> int:
+        return self.router_latency + self.link_latency
+
+    @property
+    def num_nodes(self) -> int:
+        return self.workload.num_nodes
+
+    def with_(self, **overrides) -> "SimulationConfig":
+        """A modified copy (baseline-vs-mechanism comparisons)."""
+        return replace(self, **overrides)

@@ -1,0 +1,21 @@
+"""Congestion-control mechanisms for the NoC (§5, §6.6)."""
+
+from repro.control.base import Controller, EpochView, NoController
+from repro.control.central import CentralController, ControlParams
+from repro.control.fairness import FairCentralController
+from repro.control.static_throttle import StaticThrottleController
+from repro.control.distributed import DistributedController
+from repro.control.hardware import MechanismHardwareCost, mechanism_hardware_cost
+
+__all__ = [
+    "Controller",
+    "EpochView",
+    "NoController",
+    "ControlParams",
+    "CentralController",
+    "FairCentralController",
+    "StaticThrottleController",
+    "DistributedController",
+    "MechanismHardwareCost",
+    "mechanism_hardware_cost",
+]

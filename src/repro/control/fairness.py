@@ -1,0 +1,93 @@
+"""Fairness-aware throttling (§7, "Fairness").
+
+The paper notes its controller "has no explicit fairness target" and
+suggests the bufferless NoC as "an interesting opportunity to develop a
+novel application-aware fairness controller".  This extension is one
+such controller: it augments the paper's mechanism with a per-node
+*slowdown estimate* and withholds throttling from nodes that are
+already making the least relative progress.
+
+Slowdown is estimated without alone-run oracles: a node's achievable
+IPC is approximated from its measured IPF (a node with gap ``g = IPF x
+flits/miss`` instructions between misses retires at most
+``issue_width`` IPC, and is memory-bound below that), and the estimate
+is ``achievable / observed``.  Nodes whose estimated slowdown exceeds
+``max_slowdown`` are exempted from throttling even when their IPF is
+below the mean, and their throttle rate is scaled down smoothly below
+that point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.base import EpochView
+from repro.control.central import CentralController, ControlParams
+
+__all__ = ["FairCentralController"]
+
+
+class FairCentralController(CentralController):
+    """The paper's mechanism plus an explicit slowdown cap."""
+
+    def __init__(
+        self,
+        params: ControlParams = ControlParams(),
+        max_slowdown: float = 3.0,
+        issue_width: int = 3,
+    ):
+        super().__init__(params)
+        if max_slowdown <= 1.0:
+            raise ValueError("max_slowdown must exceed 1")
+        self.max_slowdown = max_slowdown
+        self.issue_width = issue_width
+        self.last_slowdown = None
+
+    def estimate_slowdown(self, view: EpochView) -> np.ndarray:
+        """Per-node slowdown estimate: achievable IPC (the issue width)
+        over the IPC observed this epoch, capped at 100x."""
+        if view.epoch_ipc is None:
+            # Degenerate gracefully to the paper's behavior when the
+            # caller provides no progress data.
+            return np.ones(view.ipf.shape)
+        achievable = np.full(view.ipf.shape, float(self.issue_width))
+        observed = np.maximum(view.epoch_ipc, 1e-6)
+        return np.minimum(achievable / observed, 100.0)
+
+    #: at most this fraction of nodes may be exempted per epoch, so the
+    #: mechanism never disarms itself on uniformly-slow workloads
+    exempt_fraction = 0.25
+    #: nodes below this estimated slowdown are never exempted
+    min_exempt_slowdown = 1.5
+
+    def on_epoch(self, view: EpochView) -> np.ndarray:
+        rates = super().on_epoch(view)
+        slowdown = self.estimate_slowdown(view)
+        self.last_slowdown = slowdown
+        if not view.active.any():
+            return rates
+        # Only the worst-off quartile qualifies for relief: in a
+        # uniformly congested workload everyone is equally slow and
+        # exempting everyone would just disable congestion control
+        # (which hurts the worst node even more).
+        threshold = float(
+            np.quantile(slowdown[view.active], 1.0 - self.exempt_fraction)
+        )
+        exempt = view.active & (
+            slowdown >= max(threshold, self.min_exempt_slowdown)
+        )
+        # Scale throttling away as an exempt node approaches the cap:
+        # factor 1 at slowdown<=1, 0 at slowdown>=max_slowdown.
+        headroom = np.clip(
+            (self.max_slowdown - slowdown) / (self.max_slowdown - 1.0),
+            0.0,
+            1.0,
+        )
+        rates[exempt] *= headroom[exempt]
+        return rates
+
+    def describe(self) -> str:
+        return (
+            f"FairCentralController(max_slowdown={self.max_slowdown}, "
+            f"{self.params})"
+        )

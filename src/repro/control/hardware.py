@@ -1,0 +1,63 @@
+"""Hardware-cost model of the mechanism (§6.5).
+
+Per node the mechanism needs:
+
+- the starvation meter: a W-bit shift register plus an up/down counter
+  wide enough to count to W,
+- the throttle gate: a free-running 7-bit counter (``MAX_COUNT`` = 128)
+  and one comparator,
+- a quantized throttling-rate register the comparator reads.
+
+With the paper's W = 128 this totals 149 bits of storage, two counters
+and one comparator — "a minimal cost compared to (for example) the
+128KB L1 cache".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MechanismHardwareCost", "mechanism_hardware_cost"]
+
+#: Width of the quantized per-node throttling-rate register.
+_RATE_REGISTER_BITS = 6
+
+
+@dataclass(frozen=True)
+class MechanismHardwareCost:
+    """Per-node storage/logic inventory."""
+
+    shift_register_bits: int
+    starvation_counter_bits: int
+    throttle_counter_bits: int
+    rate_register_bits: int
+    counters: int = 2
+    comparators: int = 1
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.shift_register_bits
+            + self.starvation_counter_bits
+            + self.throttle_counter_bits
+            + self.rate_register_bits
+        )
+
+    def fraction_of_l1(self, l1_bytes: int = 128 * 1024) -> float:
+        """Storage relative to the 128KB L1 the paper compares against."""
+        return self.total_bits / (l1_bytes * 8)
+
+
+def mechanism_hardware_cost(
+    starvation_window: int = 128, max_count: int = 128
+) -> MechanismHardwareCost:
+    """Cost of the mechanism for a given starvation window W."""
+    if starvation_window < 1 or max_count < 2:
+        raise ValueError("window and max_count must be positive")
+    return MechanismHardwareCost(
+        shift_register_bits=starvation_window,
+        starvation_counter_bits=math.ceil(math.log2(starvation_window + 1)),
+        throttle_counter_bits=math.ceil(math.log2(max_count)),
+        rate_register_bits=_RATE_REGISTER_BITS,
+    )

@@ -1,0 +1,48 @@
+"""Static (application-blind) injection throttling.
+
+The paper's §3.1 experiment: throttle every node at one fixed rate and
+sweep the rate to trace system throughput against network utilization
+(Fig 2(c)), and its §4 experiment: statically throttle one chosen
+application by 90% (Fig 5).  Also the building block for the
+application-awareness ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.control.base import Controller, EpochView
+
+__all__ = ["StaticThrottleController"]
+
+
+class StaticThrottleController(Controller):
+    """Throttle a fixed set of nodes at a fixed rate.
+
+    Parameters
+    ----------
+    rate:
+        Fraction of injection attempts blocked, in [0, 1).
+    nodes:
+        Node indices to throttle; ``None`` throttles every node.
+    """
+
+    def __init__(self, rate: float, nodes: Optional[np.ndarray] = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("static throttle rate must be in [0, 1)")
+        self.rate = rate
+        self.nodes = None if nodes is None else np.asarray(nodes, dtype=np.int64)
+
+    def on_epoch(self, view: EpochView) -> np.ndarray:
+        rates = np.zeros(view.active.shape[0])
+        if self.nodes is None:
+            rates[:] = self.rate
+        else:
+            rates[self.nodes] = self.rate
+        return rates
+
+    def describe(self) -> str:
+        target = "all" if self.nodes is None else f"{self.nodes.size} nodes"
+        return f"StaticThrottleController(rate={self.rate}, nodes={target})"

@@ -1,0 +1,6 @@
+"""Processor-side models: closed-loop cores and the shared-cache memory system."""
+
+from repro.cpu.core import CoreArray
+from repro.cpu.memory import MemorySystem
+
+__all__ = ["CoreArray", "MemorySystem"]

@@ -1,0 +1,100 @@
+"""Shared-cache service model.
+
+The paper's memory system (Table 2): private L1s whose misses enter the
+network, and a shared, distributed, *perfect* L2 — every request is a hit
+at the addressed slice.  A request flit ejected at its home slice is
+serviced after a fixed L2 latency, producing a data-reply packet
+(``reply_flits`` flits, 32-byte block over 128-bit links = 2 flits)
+addressed back to the requester.  Replies are enqueued at the serving
+node's response queue and are never throttled (§5, "how to throttle").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MemorySystem"]
+
+
+class MemorySystem:
+    """Schedules reply packets for serviced requests."""
+
+    def __init__(self, network, l2_latency: int = 6, reply_flits: int = 2):
+        if l2_latency < 1:
+            raise ValueError("l2 latency must be at least 1 cycle")
+        self.network = network
+        self.l2_latency = l2_latency
+        self.reply_flits = reply_flits
+        self._ring = [None] * l2_latency
+        self._cursor = 0
+        # Replies that found a full response queue and must retry.
+        self._pending_server = np.zeros(0, dtype=np.int64)
+        self._pending_requester = np.zeros(0, dtype=np.int64)
+        self._pending_seq = np.zeros(0, dtype=np.int64)
+        self.requests_serviced = 0
+        self.replies_issued = 0
+
+    def pending_replies(self) -> int:
+        """Replies scheduled or retrying but not yet queued (for checks)."""
+        in_ring = sum(s[0].size for s in self._ring if s is not None)
+        return in_ring + self._pending_server.size
+
+    def on_requests(
+        self, servers: np.ndarray, requesters: np.ndarray, seqs: np.ndarray
+    ) -> None:
+        """Record ejected request flits; replies emerge after the L2 latency.
+
+        ``seqs`` are the requests' packet tags, echoed back on the
+        replies so requesters can match them to their misses.
+        """
+        if servers.size == 0:
+            return
+        self.requests_serviced += servers.size
+        slot = (self._cursor + self.l2_latency - 1) % self.l2_latency
+        entry = (
+            np.asarray(servers, dtype=np.int64).copy(),
+            np.asarray(requesters, dtype=np.int64).copy(),
+            np.asarray(seqs, dtype=np.int64).copy(),
+        )
+        prev = self._ring[slot]
+        if prev is None:
+            self._ring[slot] = entry
+        else:
+            self._ring[slot] = tuple(
+                np.concatenate([a, b]) for a, b in zip(prev, entry)
+            )
+
+    def step(self, cycle: int) -> None:
+        """Enqueue due replies; a full response queue defers to next cycle."""
+        due = self._ring[self._cursor]
+        self._ring[self._cursor] = None
+        self._cursor = (self._cursor + 1) % self.l2_latency
+        if due is None and self._pending_server.size == 0:
+            return
+        if due is not None:
+            servers = np.concatenate([self._pending_server, due[0]])
+            requesters = np.concatenate([self._pending_requester, due[1]])
+            seqs = np.concatenate([self._pending_seq, due[2]])
+        else:
+            servers = self._pending_server
+            requesters = self._pending_requester
+            seqs = self._pending_seq
+        if servers.size == 0:
+            return
+        # A node enqueues at most one reply per cycle: service the first
+        # occurrence of each server, defer the rest.
+        first = np.zeros(servers.size, dtype=bool)
+        _, first_idx = np.unique(servers, return_index=True)
+        first[first_idx] = True
+        attempt_s, attempt_r = servers[first], requesters[first]
+        attempt_q = seqs[first]
+        ok = self.network.enqueue_replies(
+            attempt_s, attempt_r, self.reply_flits, cycle=cycle, seq=attempt_q
+        )
+        self.replies_issued += int(ok.sum())
+        failed = ~ok
+        self._pending_server = np.concatenate([attempt_s[failed], servers[~first]])
+        self._pending_requester = np.concatenate(
+            [attempt_r[failed], requesters[~first]]
+        )
+        self._pending_seq = np.concatenate([attempt_q[failed], seqs[~first]])

@@ -1,0 +1,168 @@
+"""Multi-run sweep drivers for the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.control.static_throttle import StaticThrottleController
+from repro.experiments.runner import (
+    compare_controllers,
+    default_mechanism,
+    run_workload,
+)
+from repro.rng import child_rng
+from repro.sim.results import SimulationResult
+from repro.traffic.workloads import (
+    Workload,
+    make_checkerboard_workload,
+    make_workload_batch,
+)
+
+__all__ = [
+    "static_throttle_sweep",
+    "scaling_sweep",
+    "locality_sweep",
+    "pairwise_ipf_grid",
+    "workload_batch_comparison",
+]
+
+
+def static_throttle_sweep(
+    workload: Workload,
+    rates: Sequence[float],
+    cycles: int,
+    **kw,
+) -> List[Tuple[float, SimulationResult]]:
+    """Fig 2(c): throttle all nodes at each rate, record the outcome."""
+    results = []
+    for rate in rates:
+        controller = StaticThrottleController(rate) if rate > 0 else None
+        results.append((rate, run_workload(workload, cycles, controller, **kw)))
+    return results
+
+
+def scaling_sweep(
+    sizes: Sequence[int],
+    cycles_for,
+    category: str = "H",
+    networks: Sequence[str] = ("bless", "bless-throttling", "buffered"),
+    locality: str = "exponential",
+    locality_param: float = 1.0,
+    epoch: int = 1200,
+    seed: int = 2,
+    topology: str = "mesh",
+) -> Dict[str, List[Tuple[int, SimulationResult]]]:
+    """Figs 3 and 13-16: one workload per size, each network variant.
+
+    ``cycles_for(n)`` maps a node count to a cycle budget, letting large
+    networks run shorter.
+    """
+    out: Dict[str, List[Tuple[int, SimulationResult]]] = {n: [] for n in networks}
+    for size in sizes:
+        rng = child_rng(seed, f"scaling-{size}")
+        workload = make_workload_batch(1, size, rng, categories=[category])[0]
+        for name in networks:
+            controller = default_mechanism(epoch) if name == "bless-throttling" else None
+            net = "buffered" if name == "buffered" else "bless"
+            res = run_workload(
+                workload,
+                cycles_for(size),
+                controller,
+                epoch=epoch,
+                seed=seed,
+                network=net,
+                locality=locality,
+                locality_param=locality_param,
+                topology=topology,
+            )
+            out[name].append((size, res))
+    return out
+
+
+def locality_sweep(
+    mean_distances: Sequence[float],
+    num_nodes: int,
+    cycles: int,
+    category: str = "H",
+    seed: int = 3,
+    **kw,
+) -> List[Tuple[float, SimulationResult]]:
+    """Fig 4: per-node throughput vs average hop distance (1/lambda)."""
+    rng = child_rng(seed, "locality-sweep")
+    workload = make_workload_batch(1, num_nodes, rng, categories=[category])[0]
+    results = []
+    for mean in mean_distances:
+        res = run_workload(
+            workload,
+            cycles,
+            seed=seed,
+            locality="exponential",
+            locality_param=mean,
+            **kw,
+        )
+        results.append((mean, res))
+    return results
+
+
+def pairwise_ipf_grid(
+    apps: Sequence[str],
+    cycles: int,
+    width: int = 4,
+    epoch: int = 1000,
+    seed: int = 4,
+) -> List[dict]:
+    """Figs 11/12: checkerboard pairs of applications.
+
+    For every (app1, app2) pair, runs baseline and mechanism and records
+    throughput improvement plus baseline utilization.
+    """
+    rows = []
+    for app1 in apps:
+        for app2 in apps:
+            workload = make_checkerboard_workload(app1, app2, width)
+            base, ctl = compare_controllers(workload, cycles, epoch=epoch, seed=seed)
+            improvement = 0.0
+            if base.system_throughput > 0:
+                improvement = ctl.system_throughput / base.system_throughput - 1.0
+            rows.append(
+                {
+                    "app1": app1,
+                    "app2": app2,
+                    "improvement": improvement,
+                    "baseline_utilization": base.network_utilization,
+                }
+            )
+    return rows
+
+
+def workload_batch_comparison(
+    count: int,
+    num_nodes: int,
+    cycles: int,
+    epoch: int = 1000,
+    seed: int = 5,
+    categories=None,
+    **kw,
+) -> List[dict]:
+    """Figs 7-10: baseline vs mechanism across a workload batch."""
+    rng = child_rng(seed, f"batch-{num_nodes}")
+    kwargs = {} if categories is None else {"categories": categories}
+    workloads = make_workload_batch(count, num_nodes, rng, **kwargs)
+    rows = []
+    for i, workload in enumerate(workloads):
+        base, ctl = compare_controllers(
+            workload, cycles, epoch=epoch, seed=seed + i, **kw
+        )
+        improvement = 0.0
+        if base.system_throughput > 0:
+            improvement = ctl.system_throughput / base.system_throughput - 1.0
+        rows.append(
+            {
+                "workload": workload,
+                "category": workload.category,
+                "baseline": base,
+                "mechanism": ctl,
+                "improvement": improvement,
+            }
+        )
+    return rows

@@ -1,0 +1,15 @@
+"""System-level performance metrics (§3.1, §6.2)."""
+
+from repro.metrics.system import (
+    max_slowdown,
+    system_throughput,
+    weighted_speedup,
+)
+from repro.metrics.collectors import EpochSeries
+
+__all__ = [
+    "system_throughput",
+    "weighted_speedup",
+    "max_slowdown",
+    "EpochSeries",
+]

@@ -1,0 +1,41 @@
+"""Per-epoch time-series collection.
+
+Every controller epoch the simulator appends one sample of each tracked
+quantity; the resulting series drive the temporal figures (Fig 6) and
+give visibility into controller behavior (when throttling engaged, how
+utilization responded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["EpochSeries"]
+
+
+class EpochSeries:
+    """Append-only named series sampled once per epoch."""
+
+    def __init__(self):
+        self._data: Dict[str, List[float]] = {}
+        self.cycles: List[int] = []
+
+    def append(self, cycle: int, **samples: float) -> None:
+        self.cycles.append(cycle)
+        for name, value in samples.items():
+            self._data.setdefault(name, []).append(float(value))
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self._data:
+            raise KeyError(
+                f"no series {name!r}; have {sorted(self._data)}"
+            )
+        return np.asarray(self._data[name])
+
+    def names(self):
+        return sorted(self._data)
+
+    def __len__(self) -> int:
+        return len(self.cycles)

@@ -1,0 +1,52 @@
+"""Application-level metrics.
+
+The paper stresses that network-level metrics do not directly reflect
+system performance (§7 "Metrics"); the quantities that do are defined
+here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["system_throughput", "weighted_speedup", "max_slowdown"]
+
+
+def system_throughput(ipc: np.ndarray) -> float:
+    """Sum of per-core instruction throughput: ``sum_i IPC_i`` (§3.1)."""
+    return float(np.asarray(ipc).sum())
+
+
+def _validate_pair(ipc_shared, ipc_alone):
+    shared = np.asarray(ipc_shared, dtype=float)
+    alone = np.asarray(ipc_alone, dtype=float)
+    if shared.shape != alone.shape:
+        raise ValueError("shared and alone IPC arrays must align")
+    return shared, alone
+
+
+def weighted_speedup(ipc_shared, ipc_alone) -> float:
+    """``WS = sum_i IPC_i,shared / IPC_i,alone`` (§6.2).
+
+    WS equals N in an ideal N-application system with no interference
+    and drops as network contention slows applications relative to
+    their natural (alone) speed.  Nodes with zero alone-IPC (idle) are
+    excluded.
+    """
+    shared, alone = _validate_pair(ipc_shared, ipc_alone)
+    mask = alone > 0
+    return float((shared[mask] / alone[mask]).sum())
+
+
+def max_slowdown(ipc_shared, ipc_alone) -> float:
+    """Worst per-application slowdown, ``max_i IPC_alone / IPC_shared``.
+
+    An unfairness indicator: a mechanism that buys throughput by
+    starving one application shows up here even if WS improves.
+    """
+    shared, alone = _validate_pair(ipc_shared, ipc_alone)
+    mask = alone > 0
+    shared = np.maximum(shared[mask], 1e-12)
+    if not mask.any():
+        return 1.0
+    return float((alone[mask] / shared).max())

@@ -1,0 +1,29 @@
+"""Network substrates: flit conventions, queues, and router models."""
+
+from repro.network.flit import (
+    FLIT_CONTROL,
+    FLIT_REPLY,
+    FLIT_REQUEST,
+    KIND_NAMES,
+    SEQ_RING,
+)
+from repro.network.queues import FlitQueueArray
+from repro.network.injection import InjectionThrottleGate, StarvationMeter
+from repro.network.base import EjectedFlits, NocModel
+from repro.network.bless import BlessNetwork
+from repro.network.buffered import BufferedNetwork
+
+__all__ = [
+    "FLIT_REQUEST",
+    "FLIT_REPLY",
+    "FLIT_CONTROL",
+    "KIND_NAMES",
+    "FlitQueueArray",
+    "SEQ_RING",
+    "StarvationMeter",
+    "InjectionThrottleGate",
+    "EjectedFlits",
+    "NocModel",
+    "BlessNetwork",
+    "BufferedNetwork",
+]

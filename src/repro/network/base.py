@@ -1,0 +1,197 @@
+"""Common structure shared by the router models.
+
+A network model owns the injection-side state (request/response queues,
+starvation meter, throttle gate) and the run-level statistics; the
+subclasses implement one simulated cycle each in :meth:`NocModel.step`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.flit import FLIT_REPLY, FLIT_REQUEST
+from repro.network.injection import InjectionThrottleGate, StarvationMeter
+from repro.network.queues import FlitQueueArray
+
+__all__ = ["EjectedFlits", "NetworkStats", "NocModel"]
+
+
+@dataclass
+class EjectedFlits:
+    """Flits delivered to their destination NI this cycle."""
+
+    node: np.ndarray  # destination node (where the flit ejected)
+    src: np.ndarray  # injecting node
+    kind: np.ndarray  # FLIT_REQUEST / FLIT_REPLY / FLIT_CONTROL
+    seq: np.ndarray  # packet sequence tag (miss matching)
+    cbit: np.ndarray  # congestion bit (distributed controller, §6.6)
+
+    @classmethod
+    def empty(cls) -> "EjectedFlits":
+        zero = np.zeros(0, dtype=np.int64)
+        return cls(zero, zero, zero, zero, zero.astype(bool))
+
+
+@dataclass
+class NetworkStats:
+    """Run-level counters, accumulated every cycle."""
+
+    cycles: int = 0
+    injected_flits: int = 0
+    ejected_flits: int = 0
+    flit_hops: int = 0
+    deflections: int = 0
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    latency_sum: int = 0
+    latency_count: int = 0
+    latency_max: int = 0
+    hops_sum: int = 0
+    injected_per_node: np.ndarray = field(default=None)
+    starved_cycles: np.ndarray = field(default=None)
+    port_starved_cycles: np.ndarray = field(default=None)
+    #: per-flit latency histogram; the last bucket absorbs the tail
+    latency_hist: np.ndarray = field(default=None)
+
+    LATENCY_HIST_BUCKETS = 1024
+
+    def init_arrays(self, num_nodes: int) -> None:
+        self.injected_per_node = np.zeros(num_nodes, dtype=np.int64)
+        self.starved_cycles = np.zeros(num_nodes, dtype=np.int64)
+        self.port_starved_cycles = np.zeros(num_nodes, dtype=np.int64)
+        self.latency_hist = np.zeros(self.LATENCY_HIST_BUCKETS, dtype=np.int64)
+
+    def record_latencies(self, latencies: np.ndarray) -> None:
+        """Bucket delivered-flit latencies for percentile queries."""
+        clipped = np.minimum(latencies, self.LATENCY_HIST_BUCKETS - 1)
+        np.add.at(self.latency_hist, clipped, 1)
+
+    def latency_percentile(self, p: float) -> int:
+        """The *p*-th percentile (0-100) of delivered-flit latency."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        total = int(self.latency_hist.sum())
+        if total == 0:
+            return 0
+        cum = np.cumsum(self.latency_hist)
+        return int(np.searchsorted(cum, p / 100.0 * total, side="left"))
+
+    @property
+    def avg_latency(self) -> float:
+        """Mean in-network latency (injection to ejection) per flit."""
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean hops traversed per delivered flit (includes deflections)."""
+        if self.latency_count == 0:
+            return 0.0
+        return self.hops_sum / self.latency_count
+
+    @property
+    def deflection_rate(self) -> float:
+        """Deflections per link traversal."""
+        if self.flit_hops == 0:
+            return 0.0
+        return self.deflections / self.flit_hops
+
+    def utilization(self, num_links: int) -> float:
+        """Mean fraction of directed links busy per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.flit_hops / (self.cycles * num_links)
+
+    def starvation_rate(self) -> np.ndarray:
+        """Per-node fraction of cycles spent starved over the whole run.
+
+        Counts every blocked injection attempt, including those blocked
+        by the Algorithm-3 throttle gate (the sigma the controller sees).
+        """
+        if self.cycles == 0:
+            return np.zeros_like(self.starved_cycles, dtype=float)
+        return self.starved_cycles / self.cycles
+
+    def port_starvation_rate(self) -> np.ndarray:
+        """Starvation from network admission only (no free output link
+        / NI buffer full), excluding throttle-gate blocks.  This is the
+        congestion signal itself, used for Fig 9-style comparisons."""
+        if self.cycles == 0:
+            return np.zeros_like(self.port_starved_cycles, dtype=float)
+        return self.port_starved_cycles / self.cycles
+
+
+class NocModel:
+    """Base class for the BLESS and buffered networks."""
+
+    def __init__(
+        self,
+        topology,
+        queue_capacity: int = 64,
+        starvation_window: int = 128,
+    ):
+        self.topology = topology
+        self.num_nodes = topology.num_nodes
+        self.request_queue = FlitQueueArray(self.num_nodes, queue_capacity)
+        self.response_queue = FlitQueueArray(self.num_nodes, queue_capacity)
+        self.starvation = StarvationMeter(self.num_nodes, starvation_window)
+        self.throttle = InjectionThrottleGate(self.num_nodes)
+        self.stats = NetworkStats()
+        self.stats.init_arrays(self.num_nodes)
+        # Distributed controller support: nodes currently asserting the
+        # congestion bit on passing flits (§6.6); unused otherwise.
+        self.congested_nodes = np.zeros(self.num_nodes, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Producer-side API (used by the core/memory models)
+    # ------------------------------------------------------------------
+    def enqueue_requests(
+        self, nodes: np.ndarray, dest: np.ndarray, flits, cycle: int = 0, seq=0
+    ) -> np.ndarray:
+        """Queue L1-miss request packets; returns acceptance mask."""
+        return self.request_queue.push(
+            nodes, dest, FLIT_REQUEST, flits, stamp=cycle, seq=seq
+        )
+
+    def enqueue_replies(
+        self, nodes: np.ndarray, dest: np.ndarray, flits, cycle: int = 0, seq=0
+    ) -> np.ndarray:
+        """Queue data-reply packets at the serving node (never throttled)."""
+        return self.response_queue.push(
+            nodes, dest, FLIT_REPLY, flits, stamp=cycle, seq=seq
+        )
+
+    def request_backpressure(self) -> np.ndarray:
+        """Mask of nodes whose request queue cannot take another packet."""
+        return self.request_queue.is_full
+
+    # ------------------------------------------------------------------
+    # Control API
+    # ------------------------------------------------------------------
+    def set_throttle_rates(self, rates: np.ndarray) -> None:
+        self.throttle.set_rates(rates)
+
+    def step(self, cycle: int) -> EjectedFlits:
+        """Advance the network by one cycle; returns delivered flits."""
+        raise NotImplementedError
+
+    def in_flight_flits(self) -> int:
+        """Flits currently inside the network (for conservation checks)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def _record_starvation(
+        self,
+        wanted: np.ndarray,
+        injected: np.ndarray,
+        had_capacity: np.ndarray,
+    ) -> None:
+        starved = wanted & ~injected
+        self.starvation.update(starved)
+        self.stats.starved_cycles += starved
+        self.stats.port_starved_cycles += wanted & ~had_capacity

@@ -1,0 +1,267 @@
+"""FLIT-BLESS bufferless deflection router model (§2.2, Fig 1).
+
+Every cycle, each router:
+
+1. receives at most one flit per incoming link (arrivals from the hop
+   delay ring),
+2. ejects up to ``eject_width`` flits destined to it (Oldest-First among
+   locals; losers are deflected and retry next hop),
+3. assigns output ports to the remaining flits in Oldest-First order —
+   each flit takes its productive XY port if free, then the other
+   productive direction, and is otherwise *deflected* to any free link
+   (there is always one: a router has at least as many output links as
+   flits to route),
+4. injects at most one flit from the node's NI if an output link is
+   still free — responses first (never throttled), then requests through
+   the Algorithm-3 throttle gate.  A node that wanted to inject but did
+   not counts as *starved* this cycle (§3.1).
+
+The whole step is vectorized over nodes with flits in the packed
+``(meta, birth)`` representation (:mod:`repro.network.flit`): the
+per-cycle cost is a fixed number of numpy operations regardless of
+network size, which is what makes 64x64 (4096-node) runs tractable in
+Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.base import EjectedFlits, NocModel
+from repro.network.flit import (
+    CBIT_MASK,
+    HOP_ONE,
+    meta_cbit,
+    meta_dest,
+    meta_hops,
+    meta_kind,
+    meta_seq,
+    meta_src,
+    pack_meta,
+    priority_key,
+)
+from repro.topology.mesh import NUM_PORTS
+
+__all__ = ["BlessNetwork"]
+
+_KEY_MAX = np.iinfo(np.int64).max
+
+ARBITRATION_POLICIES = ("oldest_first", "youngest_first", "random")
+
+
+class BlessNetwork(NocModel):
+    """Bufferless 2D-mesh/torus network with deflection routing.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`~repro.topology.Mesh2D` or :class:`~repro.topology.Torus2D`.
+    hop_latency:
+        Cycles per hop; Table 2's 2-cycle router + 1-cycle link gives the
+        default of 3.  Links remain pipelined (1 flit/cycle each).
+    eject_width:
+        Flits a node can consume per cycle; BLESS baselines use 1.
+    arbitration:
+        ``"oldest_first"`` (paper baseline), or ``"youngest_first"`` /
+        ``"random"`` for the arbitration ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        topology,
+        hop_latency: int = 3,
+        eject_width: int = 1,
+        queue_capacity: int = 64,
+        starvation_window: int = 128,
+        arbitration: str = "oldest_first",
+        rng: np.random.Generator = None,
+    ):
+        super().__init__(topology, queue_capacity, starvation_window)
+        if arbitration not in ARBITRATION_POLICIES:
+            raise ValueError(f"unknown arbitration policy: {arbitration!r}")
+        if eject_width < 1 or eject_width > NUM_PORTS:
+            raise ValueError("eject_width must be between 1 and 4")
+        if hop_latency < 1:
+            raise ValueError("hop latency must be at least 1 cycle")
+        self.hop_latency = hop_latency
+        self.eject_width = eject_width
+        self.arbitration = arbitration
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+        n, p = self.num_nodes, NUM_PORTS
+        # Hop delay ring: flits leaving at cycle t arrive hop_latency
+        # cycles later; links stay pipelined at one flit per cycle.
+        self._ring_meta = np.zeros((hop_latency, n * p), dtype=np.int64)
+        self._ring_birth = np.full((hop_latency, n * p), -1, dtype=np.int64)
+        self._cursor = 0
+        # Static scatter map: flat arrival slot (neighbor, opposite port)
+        # reached through each (node, out port).
+        neighbor = topology.neighbor.astype(np.int64)
+        opp = topology.opposite.astype(np.int64)
+        self._target_flat = np.where(
+            topology.link_exists, neighbor * p + opp[None, :], -1
+        )
+        self._node_ids = np.arange(n, dtype=np.int64)
+        self._node_col = self._node_ids[:, None]
+        # Scratch output arrays, reused every cycle.
+        self._out_meta = np.zeros((n, p), dtype=np.int64)
+        self._out_birth = np.full((n, p), -1, dtype=np.int64)
+        # Injection-queueing latency statistics (time from enqueue at the
+        # NI to entering the network), the paper's "injection latency".
+        self.injection_latency_sum = 0
+        self.injection_latency_count = 0
+
+    # ------------------------------------------------------------------
+    def in_flight_flits(self) -> int:
+        return int((self._ring_birth >= 0).sum())
+
+    def _arbitration_key(self, birth: np.ndarray, meta: np.ndarray) -> np.ndarray:
+        """Per-flit arbitration key; the smallest key wins a conflict."""
+        if self.arbitration == "oldest_first":
+            return priority_key(birth, meta_src(meta))
+        if self.arbitration == "youngest_first":
+            return -priority_key(birth, meta_src(meta))
+        return self._rng.integers(0, _KEY_MAX, size=birth.shape, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> EjectedFlits:
+        self.stats.cycles += 1
+        n, p = self.num_nodes, NUM_PORTS
+
+        # --- Arrivals ----------------------------------------------------
+        slot = self._cursor
+        meta = self._ring_meta[slot].reshape(n, p).copy()
+        birth = self._ring_birth[slot].reshape(n, p).copy()
+        self._ring_birth[slot] = -1
+        self._cursor = (self._cursor + 1) % self.hop_latency
+
+        valid = birth >= 0
+        dest = meta_dest(meta)
+        key = np.where(valid, self._arbitration_key(birth, meta), _KEY_MAX)
+
+        # --- Ejection: up to eject_width oldest local flits per node ----
+        local = valid & (dest == self._node_col)
+        ejected = EjectedFlits.empty()
+        ej_parts = []
+        if local.any():
+            local_key = np.where(local, key, _KEY_MAX)
+            for _ in range(self.eject_width):
+                col = np.argmin(local_key, axis=1)
+                rows = np.flatnonzero(local_key[self._node_ids, col] != _KEY_MAX)
+                if rows.size == 0:
+                    break
+                cols = col[rows]
+                m = meta[rows, cols]
+                ej_parts.append((rows, m))
+                lat = cycle - birth[rows, cols]
+                self.stats.latency_sum += int(lat.sum())
+                self.stats.latency_count += rows.size
+                self.stats.latency_max = max(self.stats.latency_max, int(lat.max()))
+                self.stats.record_latencies(lat)
+                self.stats.hops_sum += int(meta_hops(m).sum())
+                valid[rows, cols] = False
+                local_key[rows, cols] = _KEY_MAX
+                key[rows, cols] = _KEY_MAX
+            self.stats.ejected_flits += sum(r.size for r, _ in ej_parts)
+
+        # --- Output-port allocation, Oldest-First rank by rank ----------
+        # Productive XY ports for every arrival, computed once.
+        dx, dy = self.topology.deltas(self._node_col, dest)
+        x_port = np.where(dx > 0, 1, 3)  # EAST / WEST
+        y_port = np.where(dy > 0, 2, 0)  # SOUTH / NORTH
+        p0 = np.where(dx != 0, x_port, np.where(dy != 0, y_port, -1))
+        p1 = np.where((dx != 0) & (dy != 0), y_port, -1)
+
+        link_exists = self.topology.link_exists
+        out_taken = ~link_exists  # fresh array; non-links never granted
+        out_meta, out_birth = self._out_meta, self._out_birth
+        out_birth[:] = -1
+        order = np.argsort(key, axis=1)
+        deflections = 0
+        for rank in range(p):
+            cols = order[:, rank]
+            rows = np.flatnonzero(key[self._node_ids, cols] != _KEY_MAX)
+            if rows.size == 0:
+                break  # ranks are sorted: later ranks are empty too
+            c = cols[rows]
+            pp0 = p0[rows, c]
+            pp1 = p1[rows, c]
+            free = ~out_taken[rows]
+            k_idx = np.arange(rows.size)
+            ok0 = (pp0 >= 0) & free[k_idx, np.where(pp0 >= 0, pp0, 0)]
+            choice = np.where(ok0, pp0, -1)
+            ok1 = (choice < 0) & (pp1 >= 0) & free[k_idx, np.where(pp1 >= 0, pp1, 0)]
+            choice = np.where(ok1, pp1, choice)
+            missing = choice < 0
+            if missing.any():
+                # Deflect to the first free link; one always exists
+                # because a router has >= as many links as routed flits.
+                choice = np.where(missing, np.argmax(free, axis=1), choice)
+                deflections += int(missing.sum())
+            out_taken[rows, choice] = True
+            out_meta[rows, choice] = meta[rows, c] + HOP_ONE
+            out_birth[rows, choice] = birth[rows, c]
+        self.stats.deflections += deflections
+
+        # --- Injection: responses first, then throttled requests --------
+        has_free = ~out_taken.all(axis=1)
+        resp_has = self.response_queue.nonempty
+        req_has = self.request_queue.nonempty
+        wanted = resp_has | req_has
+        inject_resp = resp_has & has_free
+        trying_req = req_has & has_free & ~inject_resp
+        inject_req = trying_req & self.throttle.decide(trying_req)
+        self._inject(np.flatnonzero(inject_resp), self.response_queue, cycle,
+                     out_taken, out_meta, out_birth)
+        self._inject(np.flatnonzero(inject_req), self.request_queue, cycle,
+                     out_taken, out_meta, out_birth)
+        self._record_starvation(wanted, inject_resp | inject_req, has_free)
+
+        # --- Distributed-control congestion bit (§6.6) -------------------
+        if self.congested_nodes.any():
+            mark = self.congested_nodes[:, None] & (out_birth >= 0)
+            out_meta[mark] |= CBIT_MASK
+
+        # --- Send all granted flits across their links -------------------
+        moving = out_birth >= 0
+        idx = self._target_flat[moving]
+        send_slot = (self._cursor + self.hop_latency - 1) % self.hop_latency
+        self._ring_meta[send_slot, idx] = out_meta[moving]
+        self._ring_birth[send_slot, idx] = out_birth[moving]
+        self.stats.flit_hops += idx.size
+
+        if ej_parts:
+            rows = np.concatenate([r for r, _ in ej_parts])
+            m = np.concatenate([mm for _, mm in ej_parts])
+            ejected = EjectedFlits(
+                rows, meta_src(m), meta_kind(m), meta_seq(m),
+                meta_cbit(m).astype(bool),
+            )
+        return ejected
+
+    # ------------------------------------------------------------------
+    def _inject(self, nodes, queue, cycle, out_taken, out_meta, out_birth) -> None:
+        """Place one queued flit per node in *nodes* onto a free link."""
+        if nodes.size == 0:
+            return
+        dest, kind, seq, stamp, _ = queue.take_flit(nodes)
+        # Injected flits are routed like any other: productive XY port
+        # first, the other productive direction second, then any free
+        # link (they are the youngest flits, so they lost arbitration to
+        # every in-flight flit already).
+        free = ~out_taken[nodes]
+        p0, p1 = self.topology.productive_ports(nodes, dest)
+        k_idx = np.arange(nodes.size)
+        ok0 = (p0 >= 0) & free[k_idx, np.where(p0 >= 0, p0, 0)]
+        port = np.where(ok0, p0, -1)
+        ok1 = (port < 0) & (p1 >= 0) & free[k_idx, np.where(p1 >= 0, p1, 0)]
+        port = np.where(ok1, p1, port)
+        port = np.where(port < 0, np.argmax(free, axis=1), port)
+        out_taken[nodes, port] = True
+        # The first traversal completes upon arrival at the neighbor.
+        out_meta[nodes, port] = pack_meta(dest, nodes, kind, seq) + HOP_ONE
+        out_birth[nodes, port] = cycle
+        self.stats.injected_flits += nodes.size
+        self.stats.injected_per_node[nodes] += 1
+        self.injection_latency_sum += int((cycle - stamp).sum())
+        self.injection_latency_count += nodes.size

@@ -1,0 +1,129 @@
+"""Vectorized per-node flit queues.
+
+Each node has fixed-capacity FIFO queues (request queue fed by the core's
+L1 misses, response queue fed by the local shared-cache slice).  A queue
+entry describes one *packet*: destination, kind, and how many flits of it
+remain to inject.  The injection stage draws one flit per cycle from the
+head entry; the entry pops when its last flit leaves.
+
+All operations take arrays of node indices so that thousands of nodes can
+be serviced per simulated cycle without Python-level loops.  Node indices
+within one call must be unique (each node enqueues/dequeues at most one
+item per cycle), which the callers guarantee by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FlitQueueArray"]
+
+
+class FlitQueueArray:
+    """A ring-buffer FIFO of packet entries for every node.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of per-node queues.
+    capacity:
+        Maximum entries per node.  A full queue exerts backpressure on
+        the producer (the core stalls; the paper's self-throttling).
+    """
+
+    def __init__(self, num_nodes: int, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.num_nodes = num_nodes
+        self.capacity = capacity
+        self.dest = np.zeros((num_nodes, capacity), dtype=np.int32)
+        self.kind = np.zeros((num_nodes, capacity), dtype=np.int8)
+        self.flits = np.zeros((num_nodes, capacity), dtype=np.int16)
+        self.stamp = np.zeros((num_nodes, capacity), dtype=np.int64)
+        self.seq = np.zeros((num_nodes, capacity), dtype=np.int16)
+        self.head = np.zeros(num_nodes, dtype=np.int32)
+        self.count = np.zeros(num_nodes, dtype=np.int32)
+        self._rows = np.arange(num_nodes, dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> np.ndarray:
+        """Boolean mask of nodes whose queue cannot accept an entry."""
+        return self.count >= self.capacity
+
+    @property
+    def nonempty(self) -> np.ndarray:
+        """Boolean mask of nodes with at least one queued entry."""
+        return self.count > 0
+
+    def queued_flits_total(self) -> int:
+        """Total flits waiting across all nodes (for conservation checks)."""
+        total = 0
+        for node in np.flatnonzero(self.count):
+            idx = (self.head[node] + np.arange(self.count[node])) % self.capacity
+            total += int(self.flits[node, idx].sum())
+        return total
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def push(
+        self, nodes: np.ndarray, dest: np.ndarray, kind, flits, stamp=0, seq=0
+    ) -> np.ndarray:
+        """Enqueue one entry at each node in *nodes*.
+
+        Returns the mask of successful pushes; entries for full queues
+        are rejected (the caller decides whether that means a stall or a
+        counted drop).  *nodes* must contain unique indices.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return np.zeros(0, dtype=bool)
+        ok = self.count[nodes] < self.capacity
+        accepted = nodes if ok.all() else nodes[ok]
+        slot = (self.head[accepted] + self.count[accepted]) % self.capacity
+        for field, value in (
+            (self.dest, dest),
+            (self.kind, kind),
+            (self.flits, flits),
+            (self.stamp, stamp),
+            (self.seq, seq),
+        ):
+            if np.ndim(value) == 0:
+                field[accepted, slot] = value
+            else:
+                field[accepted, slot] = np.asarray(value)[ok]
+        self.count[accepted] += 1
+        return ok
+
+    def peek(self, nodes: np.ndarray):
+        """Head-entry ``(dest, kind)`` for each node in *nodes*.
+
+        Callers must ensure the queues are non-empty.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        slot = self.head[nodes]
+        return self.dest[nodes, slot], self.kind[nodes, slot]
+
+    def take_flit(self, nodes: np.ndarray):
+        """Remove one flit from each head entry; pop entries that drain.
+
+        Returns ``(dest, kind, seq, stamp, last)`` arrays for the taken
+        flits, where ``seq`` is the packet sequence tag, ``stamp`` the
+        enqueue cycle, and ``last`` marks flits that completed their
+        packet.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        slot = self.head[nodes]
+        dest = self.dest[nodes, slot].copy()
+        kind = self.kind[nodes, slot].copy()
+        seq = self.seq[nodes, slot].copy()
+        stamp = self.stamp[nodes, slot].copy()
+        self.flits[nodes, slot] -= 1
+        done = self.flits[nodes, slot] == 0
+        popped = nodes[done]
+        self.head[popped] = (self.head[popped] + 1) % self.capacity
+        self.count[popped] -= 1
+        return dest, kind, seq, stamp, done

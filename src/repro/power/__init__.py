@@ -1,0 +1,5 @@
+"""NoC power accounting."""
+
+from repro.power.model import PowerCoefficients, PowerModel, PowerReport
+
+__all__ = ["PowerCoefficients", "PowerModel", "PowerReport"]

@@ -1,0 +1,6 @@
+"""Top-level simulation drivers."""
+
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator
+
+__all__ = ["Simulator", "SimulationResult"]

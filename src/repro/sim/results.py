@@ -1,0 +1,74 @@
+"""Simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.collectors import EpochSeries
+from repro.power.model import PowerReport
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate and per-node outcomes of one simulation run."""
+
+    cycles: int
+    num_nodes: int
+    ipc: np.ndarray  # per-node instructions per cycle
+    active: np.ndarray  # nodes that ran an application
+    ipf: np.ndarray  # whole-run measured instructions-per-flit
+    starvation_rate: np.ndarray  # per-node fraction of starved cycles
+    port_starvation_rate: np.ndarray  # starvation excluding throttle blocks
+    avg_net_latency: float  # injection -> ejection, cycles
+    max_net_latency: int  # worst-case flit latency (tail bound)
+    avg_injection_latency: float  # NI enqueue -> injection, cycles
+    avg_hops: float
+    deflection_rate: float
+    network_utilization: float
+    injected_flits: int
+    ejected_flits: int
+    power: PowerReport
+    epochs: EpochSeries
+    latency_percentile: object = None  # callable p -> cycles
+
+    @property
+    def system_throughput(self) -> float:
+        """Sum of IPC over all nodes (§3.1)."""
+        return float(self.ipc.sum())
+
+    @property
+    def throughput_per_node(self) -> float:
+        """IPC per active node, the scalability metric of Fig 3(c)/13."""
+        n = int(self.active.sum())
+        if n == 0:
+            return 0.0
+        return float(self.ipc[self.active].sum() / n)
+
+    @property
+    def mean_starvation(self) -> float:
+        if not self.active.any():
+            return 0.0
+        return float(self.starvation_rate[self.active].mean())
+
+    @property
+    def mean_port_starvation(self) -> float:
+        """Mean admission starvation (congestion only, no throttle blocks)."""
+        if not self.active.any():
+            return 0.0
+        return float(self.port_starvation_rate[self.active].mean())
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.num_nodes} nodes, {self.cycles} cycles: "
+            f"IPC/node={self.throughput_per_node:.3f} "
+            f"util={self.network_utilization:.3f} "
+            f"latency={self.avg_net_latency:.1f}cy "
+            f"starvation={self.mean_starvation:.3f} "
+            f"deflect={self.deflection_rate:.3f} "
+            f"power={self.power.average_power:.1f}"
+        )

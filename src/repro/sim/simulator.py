@@ -1,0 +1,263 @@
+"""The closed-loop system simulator.
+
+Wires cores, memory system, network and congestion controller together
+and advances them cycle by cycle.  The model is closed-loop in the
+paper's sense (§6.1): "the backpressure of the NoC and its effect on
+presented load are accurately captured" — cores stall when the network
+does not deliver, which feeds back into injected load.
+
+Per-cycle order of operations:
+
+1. application phase processes advance,
+2. cores retire instructions and enqueue new miss requests,
+3. the memory system enqueues data replies that finished L2 service,
+4. the network moves/ejects/injects flits,
+5. delivered request flits enter L2 service; delivered reply flits
+   complete core misses,
+6. on epoch boundaries the congestion controller observes the network
+   (IPF + starvation, the paper's 2n control packets) and installs new
+   throttling rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.control.base import EpochView
+from repro.cpu.core import CoreArray
+from repro.cpu.memory import MemorySystem
+from repro.metrics.collectors import EpochSeries
+from repro.network.bless import BlessNetwork
+from repro.network.buffered import BufferedNetwork
+from repro.network.flit import FLIT_CONTROL, FLIT_REPLY, FLIT_REQUEST
+from repro.power.model import PowerModel
+from repro.rng import child_rng
+from repro.sim.results import SimulationResult
+from repro.topology.mesh import Mesh2D
+from repro.topology.torus import Torus2D
+from repro.traffic.applications import ApplicationBehaviorArray
+from repro.traffic.locality import (
+    ExponentialLocality,
+    PowerLawLocality,
+    UniformStriping,
+)
+
+__all__ = ["Simulator"]
+
+
+def _build_topology(config: SimulationConfig):
+    cls = Mesh2D if config.topology == "mesh" else Torus2D
+    return cls(config.width, config.height)
+
+
+def _build_locality(config: SimulationConfig, topology):
+    if not isinstance(config.locality, str):
+        return config.locality
+    if config.locality == "uniform":
+        return UniformStriping(topology)
+    if config.locality == "exponential":
+        return ExponentialLocality(topology, mean_distance=config.locality_param)
+    if config.locality == "powerlaw":
+        return PowerLawLocality(topology, alpha=config.locality_param)
+    raise ValueError(f"unknown locality model {config.locality!r}")
+
+
+class Simulator:
+    """Builds and runs the full system described by a config."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self.topology = _build_topology(config)
+        self.locality = _build_locality(config, self.topology)
+        self._rng_dest = child_rng(config.seed, "destinations")
+        self._rng_phase = child_rng(config.seed, "phases")
+        self._rng_arb = child_rng(config.seed, "arbitration")
+
+        self.behavior = ApplicationBehaviorArray(
+            config.workload.specs(),
+            flits_per_miss=config.request_flits + config.reply_flits,
+            phase_sigma=config.phase_sigma,
+            phase_length=config.phase_length,
+            seed_rng=child_rng(config.seed, "phase-init"),
+        )
+        if config.network == "bless":
+            self.network = BlessNetwork(
+                self.topology,
+                hop_latency=config.hop_latency,
+                eject_width=config.eject_width,
+                queue_capacity=config.queue_capacity,
+                arbitration=config.arbitration,
+                rng=self._rng_arb,
+            )
+        else:
+            self.network = BufferedNetwork(
+                self.topology,
+                hop_latency=config.hop_latency,
+                buffer_capacity=config.buffer_capacity,
+                queue_capacity=config.queue_capacity,
+            )
+        self.cores = CoreArray(
+            self.behavior,
+            self.locality,
+            self.network,
+            rng=self._rng_dest,
+            issue_width=config.issue_width,
+            window_size=config.window_size,
+            mshr_limit=config.mshr_limit,
+            request_flits=config.request_flits,
+            reply_flits=config.reply_flits,
+        )
+        self.memory = MemorySystem(
+            self.network,
+            l2_latency=config.l2_latency,
+            reply_flits=config.reply_flits,
+        )
+        self.controller = config.controller
+        self.epochs = EpochSeries()
+        self.cycle = 0
+        self._epoch_start_hops = 0
+        self._epoch_start_insns = 0.0
+        # The central coordinator's location (for control traffic): the
+        # mesh center, where average distance to all nodes is minimal.
+        self.hub = self.topology.node_at(config.width // 2, config.height // 2)
+        self.control_flits_sent = 0
+
+    # ------------------------------------------------------------------
+    def run(self, cycles: int) -> SimulationResult:
+        """Advance *cycles* cycles and return the run's results."""
+        if cycles < 1:
+            raise ValueError("must simulate at least one cycle")
+        epoch = self.config.epoch
+        end = self.cycle + cycles
+        observe = self.controller.observes_ejections
+        while self.cycle < end:
+            c = self.cycle
+            self.behavior.tick(self._rng_phase)
+            self.cores.step(c)
+            self.memory.step(c)
+            ejected = self.network.step(c)
+            if ejected.node.size:
+                kind = ejected.kind
+                req = kind == FLIT_REQUEST
+                if req.any():
+                    self.memory.on_requests(
+                        ejected.node[req], ejected.src[req], ejected.seq[req]
+                    )
+                rep = kind == FLIT_REPLY
+                if rep.any():
+                    self.cores.on_reply_flits(ejected.node[rep], ejected.seq[rep])
+                if observe:
+                    self.controller.on_ejected(ejected)
+            self.cycle += 1
+            if self.cycle % epoch == 0:
+                self._run_epoch()
+        return self._result()
+
+    # ------------------------------------------------------------------
+    def _run_epoch(self) -> None:
+        """One controller period: measure, decide, install rates."""
+        hops = self.network.stats.flit_hops
+        insns = float(self.cores.retired.sum())
+        epoch_cycles = self.config.epoch
+        util = (hops - self._epoch_start_hops) / (
+            epoch_cycles * self.topology.num_links
+        )
+        view = EpochView(
+            cycle=self.cycle,
+            ipf=self.cores.measured_ipf(),
+            starvation_rate=self.network.starvation.rate(),
+            active=self.cores.active,
+            utilization=util,
+            epoch_ipc=self.cores.epoch_insns / epoch_cycles,
+        )
+        rates = self.controller.on_epoch(view)
+        self.network.set_throttle_rates(rates)
+        if self.config.model_control_traffic:
+            self._inject_control_traffic()
+        self.epochs.append(
+            self.cycle,
+            utilization=util,
+            throughput=(insns - self._epoch_start_insns)
+            / (epoch_cycles * max(int(self.cores.active.sum()), 1)),
+            starvation=float(view.starvation_rate[view.active].mean())
+            if view.active.any()
+            else 0.0,
+            mean_throttle=float(np.asarray(rates).mean()),
+            throttled_nodes=float((np.asarray(rates) > 0).sum()),
+        )
+        self.cores.reset_epoch()
+        self._epoch_start_hops = hops
+        self._epoch_start_insns = insns
+
+    def _inject_control_traffic(self) -> None:
+        """Model the mechanism's 2n control packets per epoch (§6.6).
+
+        Each node reports (IPF, sigma) to the hub with one flit, and the
+        hub distributes one rate-update flit per node.  Enqueued
+        best-effort through the response path (control traffic is never
+        throttled); queue overflow defers a report to the next epoch,
+        which only delays — never breaks — coordination.
+        """
+        net = self.network
+        nodes = np.flatnonzero(self.cores.active)
+        nodes = nodes[nodes != self.hub]
+        if nodes.size:
+            hub_dest = np.full(nodes.size, self.hub, dtype=np.int64)
+            ok = net.response_queue.push(
+                nodes, hub_dest, FLIT_CONTROL, 1, stamp=self.cycle
+            )
+            self.control_flits_sent += int(ok.sum())
+            # Hub -> node updates: pushed one per cycle by capacity; model
+            # as a burst bounded by the hub's queue space.
+            for node in nodes:
+                ok = net.response_queue.push(
+                    np.array([self.hub]),
+                    np.array([node]),
+                    FLIT_CONTROL,
+                    1,
+                    stamp=self.cycle,
+                )
+                if not ok[0]:
+                    break
+                self.control_flits_sent += 1
+
+    # ------------------------------------------------------------------
+    def _result(self) -> SimulationResult:
+        stats = self.network.stats
+        cores = self.cores
+        flits = cores.misses_issued * (
+            self.config.request_flits + self.config.reply_flits
+        )
+        ipf = cores.retired / np.maximum(flits, 1)
+        ipf[flits == 0] = np.inf
+        inj_lat = 0.0
+        if isinstance(self.network, BlessNetwork):
+            if self.network.injection_latency_count:
+                inj_lat = (
+                    self.network.injection_latency_sum
+                    / self.network.injection_latency_count
+                )
+        power = PowerModel(self.config.power).report(
+            stats, self.topology.num_nodes, buffered=self.config.network == "buffered"
+        )
+        return SimulationResult(
+            cycles=self.cycle,
+            num_nodes=self.topology.num_nodes,
+            ipc=cores.ipc(self.cycle),
+            active=cores.active.copy(),
+            ipf=ipf,
+            starvation_rate=stats.starvation_rate(),
+            port_starvation_rate=stats.port_starvation_rate(),
+            avg_net_latency=stats.avg_latency,
+            max_net_latency=stats.latency_max,
+            avg_injection_latency=inj_lat,
+            avg_hops=stats.avg_hops,
+            deflection_rate=stats.deflection_rate,
+            network_utilization=stats.utilization(self.topology.num_links),
+            injected_flits=stats.injected_flits,
+            ejected_flits=stats.ejected_flits,
+            power=power,
+            epochs=self.epochs,
+            latency_percentile=stats.latency_percentile,
+        )

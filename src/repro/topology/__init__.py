@@ -1,0 +1,27 @@
+"""Network topologies: 2D mesh and 2D torus with XY routing support."""
+
+from repro.topology.mesh import (
+    EAST,
+    INVALID_PORT,
+    Mesh2D,
+    NORTH,
+    NUM_PORTS,
+    PORT_NAMES,
+    SOUTH,
+    WEST,
+    opposite_port,
+)
+from repro.topology.torus import Torus2D
+
+__all__ = [
+    "Mesh2D",
+    "Torus2D",
+    "NORTH",
+    "EAST",
+    "SOUTH",
+    "WEST",
+    "NUM_PORTS",
+    "INVALID_PORT",
+    "PORT_NAMES",
+    "opposite_port",
+]

@@ -1,0 +1,104 @@
+"""Hot-spot traffic (§7, "Traffic Engineering").
+
+The paper observes that multi-threaded applications have "heavily
+local/regional communication patterns, which can create 'hot-spots' of
+high utilization in the network", and that source throttling gives only
+small gains there (routing around the hot-spot would do better).
+
+:class:`HotspotLocality` reproduces that pattern: a fraction of every
+node's requests is directed at a small set of hot nodes (e.g. a shared
+lock/home node, a memory controller, or an accelerator), the remainder
+follows an exponential locality model.  The hot set can be re-drawn
+periodically to model the paper's *dynamic* hot-spots driven by
+application phases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.traffic.locality import ExponentialLocality
+
+__all__ = ["HotspotLocality"]
+
+
+class HotspotLocality:
+    """Mix of hot-node traffic and exponential background locality.
+
+    Parameters
+    ----------
+    topology:
+        The mesh/torus the destinations live on.
+    hot_nodes:
+        Node ids receiving the concentrated traffic; drawn uniformly at
+        random (``num_hot`` of them) when omitted.
+    hot_fraction:
+        Probability that a request targets a hot node.
+    background_mean_distance:
+        Mean hop distance of the non-hot-spot traffic.
+    """
+
+    def __init__(
+        self,
+        topology,
+        hot_nodes: Optional[Sequence[int]] = None,
+        num_hot: int = 2,
+        hot_fraction: float = 0.3,
+        background_mean_distance: float = 1.0,
+        seed_rng: Optional[np.random.Generator] = None,
+    ):
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot fraction must be in (0, 1]")
+        self.topology = topology
+        self.hot_fraction = hot_fraction
+        self._background = ExponentialLocality(
+            topology, mean_distance=background_mean_distance
+        )
+        rng = seed_rng if seed_rng is not None else np.random.default_rng(0)
+        if hot_nodes is not None:
+            hot = np.asarray(hot_nodes, dtype=np.int64)
+            if hot.size == 0:
+                raise ValueError("need at least one hot node")
+            if np.any((hot < 0) | (hot >= topology.num_nodes)):
+                raise ValueError("hot node id out of range")
+            self.hot_nodes = hot
+        else:
+            self.hot_nodes = rng.choice(
+                topology.num_nodes, size=min(num_hot, topology.num_nodes),
+                replace=False,
+            ).astype(np.int64)
+
+    def move_hotspots(self, rng: np.random.Generator) -> None:
+        """Re-draw the hot set (dynamic hot-spots, §7)."""
+        self.hot_nodes = rng.choice(
+            self.topology.num_nodes, size=self.hot_nodes.size, replace=False
+        ).astype(np.int64)
+
+    def sample(self, src: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dest = self._background.sample(src, rng)
+        to_hot = rng.random(src.size) < self.hot_fraction
+        if to_hot.any():
+            picks = self.hot_nodes[
+                rng.integers(0, self.hot_nodes.size, size=int(to_hot.sum()))
+            ]
+            dest[to_hot] = picks
+            # a hot node's own hot-directed traffic goes to another hot
+            # node, or stays background if it is the only one
+            self_hit = to_hot & (dest == src)
+            if self_hit.any() and self.hot_nodes.size > 1:
+                idx = np.flatnonzero(self_hit)
+                for i in idx:
+                    others = self.hot_nodes[self.hot_nodes != src[i]]
+                    dest[i] = others[rng.integers(0, others.size)]
+            elif self_hit.any():
+                dest[self_hit] = self._background.sample(src[self_hit], rng)
+        return dest
+
+    def __repr__(self) -> str:
+        return (
+            f"HotspotLocality(hot={self.hot_nodes.tolist()}, "
+            f"fraction={self.hot_fraction})"
+        )

@@ -1,0 +1,97 @@
+"""Record/replay of application miss behavior.
+
+The paper replays captured instruction traces; this layer provides the
+equivalent substitution point.  A :class:`GapTrace` stores per-node
+sequences of miss gaps (instructions between consecutive L1 misses);
+:class:`TracedBehaviorArray` replays them (looping) through the same
+interface as the synthetic :class:`~repro.traffic.applications.ApplicationBehaviorArray`,
+so users with real miss traces can drive the simulator with them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["GapTrace", "TracedBehaviorArray"]
+
+
+class GapTrace:
+    """Per-node miss-gap sequences with npz persistence."""
+
+    def __init__(self, gaps: Sequence[np.ndarray]):
+        if not gaps:
+            raise ValueError("a trace needs at least one node")
+        self.gaps: List[np.ndarray] = [
+            np.asarray(g, dtype=np.float64) for g in gaps
+        ]
+        for i, g in enumerate(self.gaps):
+            if g.size and g.min() < 1.0:
+                raise ValueError(f"node {i}: miss gaps must be >= 1 instruction")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.gaps)
+
+    def save(self, path) -> None:
+        """Persist to an ``.npz`` file."""
+        arrays = {f"node_{i}": g for i, g in enumerate(self.gaps)}
+        np.savez_compressed(Path(path), num_nodes=np.int64(self.num_nodes), **arrays)
+
+    @classmethod
+    def load(cls, path) -> "GapTrace":
+        with np.load(Path(path)) as data:
+            n = int(data["num_nodes"])
+            return cls([data[f"node_{i}"] for i in range(n)])
+
+    @classmethod
+    def record(
+        cls, behavior, cycles_of_misses: int, rng: np.random.Generator
+    ) -> "GapTrace":
+        """Sample a replayable trace from a synthetic behavior model."""
+        nodes = np.flatnonzero(behavior.active)
+        gaps = [np.zeros(0)] * behavior.num_nodes
+        for node in nodes:
+            node_arr = np.full(cycles_of_misses, node, dtype=np.int64)
+            gaps[node] = behavior.sample_gap(node_arr, rng)
+        return cls(gaps)
+
+
+class TracedBehaviorArray:
+    """Replays a :class:`GapTrace` through the behavior interface."""
+
+    def __init__(self, trace: GapTrace, flits_per_miss: int = 3):
+        self.trace = trace
+        self.num_nodes = trace.num_nodes
+        self.flits_per_miss = flits_per_miss
+        self.active = np.array([g.size > 0 for g in trace.gaps], dtype=bool)
+        self._pos = np.zeros(self.num_nodes, dtype=np.int64)
+        self.mean_ipf = np.array(
+            [g.mean() / flits_per_miss if g.size else 1.0 for g in trace.gaps]
+        )
+
+    def mean_gap_insns(self) -> np.ndarray:
+        return self.mean_ipf * self.flits_per_miss
+
+    def tick(self, rng: np.random.Generator) -> None:
+        """Traces carry their own phase behavior; nothing to advance."""
+
+    def sample_gap(
+        self, nodes: np.ndarray, rng: np.random.Generator, initial: bool = False
+    ) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        out = np.empty(nodes.size, dtype=np.float64)
+        for i, node in enumerate(nodes):
+            seq = self.trace.gaps[node]
+            out[i] = seq[self._pos[node] % seq.size]
+            self._pos[node] += 1
+        return out
+
+    def current_intensity(self) -> np.ndarray:
+        demand = np.zeros(self.num_nodes)
+        demand[self.active] = (
+            self.flits_per_miss * 3.0 / np.maximum(self.mean_gap_insns()[self.active], 1.0)
+        )
+        return demand

@@ -1,0 +1,133 @@
+"""Multiprogrammed workload construction (§6.1).
+
+The paper evaluates 875 workloads (700 on 16 cores, 175 on 64 cores) of
+independent applications, one per core, drawn from seven categories.
+Each category names the intensity levels its applications are drawn
+from: {H, M, L, HML, HM, HL, ML}.  "For a given workload category, the
+application at each node is chosen randomly from all applications in the
+given intensity levels."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.traffic.applications import (
+    APPLICATION_CATALOG,
+    ApplicationSpec,
+    intensity_class,
+)
+
+__all__ = [
+    "Workload",
+    "WORKLOAD_CATEGORIES",
+    "make_category_workload",
+    "make_homogeneous_workload",
+    "make_checkerboard_workload",
+    "make_workload_batch",
+]
+
+#: The paper's seven workload categories (§6.1).
+WORKLOAD_CATEGORIES: Tuple[str, ...] = ("H", "M", "L", "HML", "HM", "HL", "ML")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An assignment of one application (or ``None``) per node."""
+
+    app_names: Tuple[Optional[str], ...]
+    category: str = ""
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.app_names)
+
+    def specs(self) -> List[Optional[ApplicationSpec]]:
+        """Resolve names against the application catalog."""
+        return [
+            APPLICATION_CATALOG[name] if name is not None else None
+            for name in self.app_names
+        ]
+
+    def intensity_counts(self) -> Dict[str, int]:
+        """How many nodes run applications of each intensity class."""
+        counts = {"H": 0, "M": 0, "L": 0}
+        for spec in self.specs():
+            if spec is not None:
+                counts[spec.intensity] += 1
+        return counts
+
+
+def _apps_in_levels(levels: str) -> List[str]:
+    names = [
+        name
+        for name, spec in APPLICATION_CATALOG.items()
+        if intensity_class(spec.mean_ipf) in set(levels)
+    ]
+    if not names:
+        raise ValueError(f"no applications with intensity in {levels!r}")
+    return sorted(names)
+
+
+def make_category_workload(
+    category: str, num_nodes: int, rng: np.random.Generator
+) -> Workload:
+    """Random workload of *num_nodes* applications from *category*.
+
+    The category string lists the allowed intensity levels, e.g. ``"HL"``
+    draws each node's application uniformly from all high- and
+    low-intensity applications.
+    """
+    if category not in WORKLOAD_CATEGORIES:
+        raise ValueError(
+            f"unknown category {category!r}; expected one of {WORKLOAD_CATEGORIES}"
+        )
+    pool = _apps_in_levels(category)
+    picks = rng.choice(len(pool), size=num_nodes)
+    return Workload(tuple(pool[i] for i in picks), category=category)
+
+
+def make_homogeneous_workload(app_name: str, num_nodes: int) -> Workload:
+    """Every node runs the same application."""
+    if app_name not in APPLICATION_CATALOG:
+        raise ValueError(f"unknown application {app_name!r}")
+    spec = APPLICATION_CATALOG[app_name]
+    return Workload((app_name,) * num_nodes, category=spec.intensity)
+
+
+def make_checkerboard_workload(
+    app_a: str, app_b: str, width: int, height: int = 0
+) -> Workload:
+    """Alternate two applications in a checkerboard layout (§4, Fig 5/11)."""
+    if height == 0:
+        height = width
+    for name in (app_a, app_b):
+        if name not in APPLICATION_CATALOG:
+            raise ValueError(f"unknown application {name!r}")
+    names = [
+        app_a if (x + y) % 2 == 0 else app_b
+        for y in range(height)
+        for x in range(width)
+    ]
+    return Workload(tuple(names), category="PAIR")
+
+
+def make_workload_batch(
+    count: int,
+    num_nodes: int,
+    rng: np.random.Generator,
+    categories: Sequence[str] = WORKLOAD_CATEGORIES,
+) -> List[Workload]:
+    """A balanced batch of random workloads cycling through *categories*.
+
+    This mirrors the paper's construction of its 875-workload set: equal
+    representation per category, independent random draws within each.
+    """
+    workloads = []
+    for i in range(count):
+        category = categories[i % len(categories)]
+        workloads.append(make_category_workload(category, num_nodes, rng))
+    return workloads

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import Mesh2D, Torus2D, make_category_workload
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def mesh4():
+    return Mesh2D(4)
+
+
+@pytest.fixture
+def mesh8():
+    return Mesh2D(8)
+
+
+@pytest.fixture
+def torus4():
+    return Torus2D(4)
+
+
+@pytest.fixture
+def heavy_workload16(rng):
+    """A 16-node workload of high-network-intensity applications."""
+    return make_category_workload("H", 16, rng)
+
+
+@pytest.fixture
+def light_workload16(rng):
+    """A 16-node workload of CPU-bound applications."""
+    return make_category_workload("L", 16, rng)

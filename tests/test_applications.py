@@ -1,0 +1,128 @@
+"""Unit tests for the Table-1 application models."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.applications import (
+    APPLICATION_CATALOG,
+    ApplicationBehaviorArray,
+    ApplicationSpec,
+    intensity_class,
+)
+
+
+class TestCatalog:
+    def test_has_all_table1_rows(self):
+        assert len(APPLICATION_CATALOG) == 34
+
+    def test_known_values(self):
+        assert APPLICATION_CATALOG["mcf"].mean_ipf == 1.0
+        assert APPLICATION_CATALOG["gromacs"].mean_ipf == 19.4
+        assert APPLICATION_CATALOG["povray"].mean_ipf == 20708.5
+        assert APPLICATION_CATALOG["povray"].ipf_variance == 1501.8
+
+    def test_intensity_thresholds(self):
+        """§6.1: H < 2 IPF, M = 2-100 IPF, L > 100 IPF."""
+        assert intensity_class(1.9) == "H"
+        assert intensity_class(2.0) == "M"
+        assert intensity_class(100.0) == "M"
+        assert intensity_class(100.1) == "L"
+
+    def test_paper_examples_classified(self):
+        assert APPLICATION_CATALOG["mcf"].intensity == "H"
+        assert APPLICATION_CATALOG["gromacs"].intensity == "M"
+        assert APPLICATION_CATALOG["povray"].intensity == "L"
+
+    def test_every_class_populated(self):
+        classes = {spec.intensity for spec in APPLICATION_CATALOG.values()}
+        assert classes == {"H", "M", "L"}
+
+
+class TestBehaviorArray:
+    def test_active_mask(self):
+        specs = [APPLICATION_CATALOG["mcf"], None, APPLICATION_CATALOG["povray"]]
+        behavior = ApplicationBehaviorArray(specs)
+        np.testing.assert_array_equal(behavior.active, [True, False, True])
+
+    def test_mean_gap_matches_ipf(self):
+        behavior = ApplicationBehaviorArray(
+            [APPLICATION_CATALOG["mcf"]], flits_per_miss=3
+        )
+        assert behavior.mean_gap_insns()[0] == pytest.approx(3.0)
+
+    def test_gap_samples_match_table1_moments(self):
+        """Without phases, per-miss IPF is lognormal(mean, var) from Table 1."""
+        rng = np.random.default_rng(0)
+        for name in ("mcf", "gromacs", "bzip2"):
+            spec = APPLICATION_CATALOG[name]
+            behavior = ApplicationBehaviorArray(
+                [spec], flits_per_miss=3, phase_sigma=0.0
+            )
+            nodes = np.zeros(60_000, dtype=np.int64)
+            ipf = behavior.sample_gap(nodes, rng) / 3.0
+            assert ipf.mean() == pytest.approx(spec.mean_ipf, rel=0.1)
+            assert ipf.var() == pytest.approx(spec.ipf_variance, rel=0.35)
+
+    def test_gap_floor_is_one_instruction(self):
+        behavior = ApplicationBehaviorArray(
+            [APPLICATION_CATALOG["matlab"]], flits_per_miss=1, phase_sigma=0.0
+        )
+        gaps = behavior.sample_gap(np.zeros(10_000, dtype=np.int64),
+                                   np.random.default_rng(1))
+        assert gaps.min() >= 1.0
+
+    def test_initial_gaps_are_desynchronized(self):
+        behavior = ApplicationBehaviorArray(
+            [APPLICATION_CATALOG["gromacs"]] * 64, phase_sigma=0.0
+        )
+        rng = np.random.default_rng(2)
+        gaps = behavior.sample_gap(np.arange(64), rng, initial=True)
+        assert np.unique(np.round(gaps, 6)).size > 32
+
+    def test_phases_preserve_mean_but_add_burstiness(self):
+        spec = APPLICATION_CATALOG["mcf"]
+        rng = np.random.default_rng(3)
+        behavior = ApplicationBehaviorArray(
+            [spec] * 8, flits_per_miss=3, phase_sigma=0.8, phase_length=50,
+            seed_rng=np.random.default_rng(9),
+        )
+        samples = []
+        for c in range(20_000):
+            behavior.tick(rng)
+            if c % 10 == 0:
+                samples.append(behavior.sample_gap(np.arange(8), rng) / 3.0)
+        ipf = np.concatenate(samples)
+        base = ApplicationBehaviorArray([spec], flits_per_miss=3, phase_sigma=0.0)
+        base_ipf = base.sample_gap(np.zeros(20_000, dtype=np.int64),
+                                   np.random.default_rng(4)) / 3.0
+        assert ipf.mean() == pytest.approx(spec.mean_ipf, rel=0.25)
+        assert ipf.var() > base_ipf.var()
+
+    def test_phase_multipliers_change_over_time(self):
+        behavior = ApplicationBehaviorArray(
+            [APPLICATION_CATALOG["mcf"]] * 4, phase_sigma=0.5, phase_length=20,
+            seed_rng=np.random.default_rng(0),
+        )
+        rng = np.random.default_rng(5)
+        seen = set()
+        for _ in range(500):
+            behavior.tick(rng)
+            seen.add(tuple(np.round(behavior._phase_mult, 6)))
+        assert len(seen) > 5
+
+    def test_zero_phase_sigma_disables_phases(self):
+        behavior = ApplicationBehaviorArray(
+            [APPLICATION_CATALOG["mcf"]], phase_sigma=0.0
+        )
+        rng = np.random.default_rng(6)
+        for _ in range(200):
+            behavior.tick(rng)
+        assert behavior._phase_mult[0] == 1.0
+
+    def test_current_intensity_orders_by_network_demand(self):
+        behavior = ApplicationBehaviorArray(
+            [APPLICATION_CATALOG["mcf"], APPLICATION_CATALOG["povray"]],
+            phase_sigma=0.0,
+        )
+        demand = behavior.current_intensity()
+        assert demand[0] > demand[1] * 100

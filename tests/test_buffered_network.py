@@ -1,0 +1,149 @@
+"""Unit and invariant tests for the buffered baseline network."""
+
+import numpy as np
+import pytest
+
+from repro import Mesh2D
+from repro.network import BufferedNetwork
+from repro.network.flit import FLIT_REPLY
+
+
+class TestSinglePacket:
+    def test_corner_to_corner_latency(self, mesh4):
+        """6 hops plus one NI-buffer cycle on an empty network."""
+        net = BufferedNetwork(mesh4)
+        net.enqueue_requests(np.array([0]), np.array([15]), 1, cycle=0)
+        for c in range(40):
+            ej = net.step(c)
+            if ej.node.size:
+                assert ej.node[0] == 15
+                assert c == 19
+                return
+        pytest.fail("flit never delivered")
+
+    def test_no_deflection_counter(self, mesh4):
+        net = BufferedNetwork(mesh4)
+        rng = np.random.default_rng(0)
+        for c in range(200):
+            srcs = np.flatnonzero(rng.random(16) < 0.4)
+            if srcs.size:
+                dests = (srcs + 1 + rng.integers(0, 15, srcs.size)) % 16
+                net.enqueue_requests(srcs, dests, 1, cycle=c)
+            net.step(c)
+        assert net.stats.deflections == 0
+
+    def test_seq_preserved(self, mesh4):
+        net = BufferedNetwork(mesh4)
+        net.enqueue_replies(np.array([3]), np.array([12]), 1, cycle=0, seq=42)
+        for c in range(40):
+            ej = net.step(c)
+            if ej.node.size:
+                assert ej.seq[0] == 42
+                assert ej.kind[0] == FLIT_REPLY
+                return
+        pytest.fail("flit never delivered")
+
+    def test_rejects_bad_buffer_capacity(self, mesh4):
+        with pytest.raises(ValueError):
+            BufferedNetwork(mesh4, buffer_capacity=0)
+
+
+class TestBuffering:
+    def test_flits_queue_instead_of_deflecting(self, mesh4):
+        """Two flits to one destination: both delivered, one cycle apart."""
+        net = BufferedNetwork(mesh4)
+        net.enqueue_requests(np.array([1, 4]), np.array([5, 5]), 1, cycle=0)
+        times = []
+        for c in range(30):
+            ej = net.step(c)
+            times.extend([c] * ej.node.size)
+        assert len(times) == 2
+        assert times[1] == times[0] + 1  # waits one cycle in a buffer
+
+    def test_conservation_under_load(self, mesh8):
+        rng = np.random.default_rng(4)
+        net = BufferedNetwork(mesh8)
+        sent = 0
+        for c in range(300):
+            srcs = np.flatnonzero(rng.random(64) < 0.5)
+            if srcs.size:
+                dests = (srcs + 1 + rng.integers(0, 63, srcs.size)) % 64
+                sent += int(net.enqueue_requests(srcs, dests, 1, cycle=c).sum())
+            net.step(c)
+        for c in range(300, 3000):
+            net.step(c)
+            if net.stats.ejected_flits == sent:
+                break
+        assert net.stats.injected_flits == sent
+        assert net.stats.ejected_flits == sent
+        assert net.in_flight_flits() == 0
+
+    def test_buffer_occupancy_never_exceeds_capacity(self, mesh4):
+        net = BufferedNetwork(mesh4, buffer_capacity=4)
+        rng = np.random.default_rng(8)
+        for c in range(400):
+            srcs = np.flatnonzero(rng.random(16) < 0.8)
+            if srcs.size:
+                dests = (srcs + 1 + rng.integers(0, 15, srcs.size)) % 16
+                net.enqueue_requests(srcs, dests, 1, cycle=c)
+            net.step(c)
+            assert net.buffers.count.max() <= 4
+            assert (net.buffers.count[:, :4] + net.reserved >= 0).all()
+
+    def test_credits_prevent_overflow_with_tiny_buffers(self, mesh4):
+        """Lossless even with 1-flit buffers: flits wait for credits."""
+        net = BufferedNetwork(mesh4, buffer_capacity=1)
+        rng = np.random.default_rng(8)
+        sent = 0
+        for c in range(200):
+            srcs = np.flatnonzero(rng.random(16) < 0.5)
+            if srcs.size:
+                dests = (srcs + 1 + rng.integers(0, 15, srcs.size)) % 16
+                sent += int(net.enqueue_requests(srcs, dests, 1, cycle=c).sum())
+            net.step(c)
+            assert net.buffers.count.max() <= 1
+        for c in range(200, 8000):
+            net.step(c)
+            if net.stats.ejected_flits == sent:
+                break
+        assert net.stats.ejected_flits == sent
+
+    def test_latency_grows_with_load(self, mesh4):
+        """In-network latency rises under congestion — the traditional-
+        network behavior the paper contrasts with bufferless NoCs."""
+
+        def run(p):
+            net = BufferedNetwork(mesh4)
+            rng = np.random.default_rng(1)
+            for c in range(600):
+                srcs = np.flatnonzero(rng.random(16) < p)
+                if srcs.size:
+                    dests = (srcs + 1 + rng.integers(0, 15, srcs.size)) % 16
+                    net.enqueue_requests(srcs, dests, 1, cycle=c)
+                net.step(c)
+            return net.stats.avg_latency
+
+        assert run(0.9) > run(0.05) * 1.5
+
+
+class TestInjection:
+    def test_starvation_when_ni_buffer_full(self, mesh4):
+        net = BufferedNetwork(mesh4, buffer_capacity=2)
+        # flood node 0's NI with packets toward a congested corner
+        for c in range(300):
+            net.enqueue_requests(np.array([0, 1, 4]), np.array([15, 15, 15]), 1, cycle=c)
+            net.step(c)
+        assert net.stats.starved_cycles.sum() > 0
+
+    def test_throttle_gate_applies(self, mesh4):
+        def run(rate):
+            net = BufferedNetwork(mesh4)
+            rates = np.zeros(16)
+            rates[0] = rate
+            net.set_throttle_rates(rates)
+            for c in range(300):
+                net.enqueue_requests(np.array([0]), np.array([15]), 1, cycle=c)
+                net.step(c)
+            return net.stats.injected_per_node[0]
+
+        assert run(0.9) < run(0.0) * 0.3

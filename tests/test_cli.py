@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.category is None  # resolved to "H" at run time
+        assert args.nodes == 16
+        assert args.network == "bless"
+        assert args.controller == "none"
+
+    def test_app_and_category_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--app", "mcf", "--category", "M"])
+
+    def test_rejects_unknown_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--network", "wormhole"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--category", "X"])
+
+
+class TestMain:
+    def test_basic_run(self, capsys):
+        rc = main(["--nodes", "16", "--cycles", "1500", "--epoch", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "system throughput" in out
+        assert "IPC/node" in out
+
+    def test_central_controller_run(self, capsys):
+        rc = main(["--cycles", "1500", "--epoch", "500",
+                   "--controller", "central"])
+        assert rc == 0
+        assert "controller=central" in capsys.readouterr().out
+
+    def test_distributed_controller_run(self, capsys):
+        rc = main(["--cycles", "1200", "--epoch", "400",
+                   "--controller", "distributed"])
+        assert rc == 0
+
+    def test_static_controller_run(self, capsys):
+        rc = main(["--cycles", "1200", "--epoch", "400",
+                   "--controller", "static", "--static-rate", "0.7"])
+        assert rc == 0
+
+    def test_homogeneous_app_run(self, capsys):
+        rc = main(["--app", "povray", "--cycles", "1200", "--epoch", "400"])
+        assert rc == 0
+
+    def test_buffered_torus_run(self, capsys):
+        rc = main(["--cycles", "1200", "--epoch", "400",
+                   "--network", "buffered", "--topology", "torus",
+                   "--locality", "exponential"])
+        assert rc == 0

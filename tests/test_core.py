@@ -1,0 +1,213 @@
+"""Unit tests for the closed-loop core model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.core import CoreArray
+from repro.network.flit import SEQ_RING
+from repro.traffic.applications import APPLICATION_CATALOG, ApplicationBehaviorArray
+
+
+class FakeNetwork:
+    """Accepts every request and records it."""
+
+    def __init__(self, num_nodes, reject=False):
+        self.num_nodes = num_nodes
+        self.requests = []
+        self.reject = reject
+        self.backpressure = np.zeros(num_nodes, dtype=bool)
+
+    def request_backpressure(self):
+        return self.backpressure
+
+    def enqueue_requests(self, nodes, dest, flits, cycle=0, seq=0):
+        if self.reject:
+            return np.zeros(nodes.size, dtype=bool)
+        self.requests.append((cycle, nodes.copy(), np.asarray(dest).copy(),
+                              np.broadcast_to(seq, nodes.shape).copy()))
+        return np.ones(nodes.size, dtype=bool)
+
+
+class FakeLocality:
+    def sample(self, nodes, rng):
+        return (np.asarray(nodes) + 1) % 16
+
+
+def make_core(app="mcf", n=16, **kw):
+    specs = [APPLICATION_CATALOG[app]] * n
+    behavior = ApplicationBehaviorArray(specs, phase_sigma=0.0)
+    net = FakeNetwork(n)
+    core = CoreArray(
+        behavior, FakeLocality(), net, rng=np.random.default_rng(0), **kw
+    )
+    return core, net
+
+
+class TestProgress:
+    def test_cpu_bound_app_reaches_full_ipc(self):
+        core, net = make_core("povray")
+        for c in range(1000):
+            core.step(c)
+            self_deliver(core, net, c, lag=10)
+        assert core.ipc(1000).mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_idle_nodes_do_nothing(self):
+        specs = [None] * 4
+        behavior = ApplicationBehaviorArray(specs)
+        net = FakeNetwork(4)
+        core = CoreArray(behavior, FakeLocality(), net, rng=np.random.default_rng(0))
+        for c in range(100):
+            core.step(c)
+        assert core.retired.sum() == 0
+        assert not net.requests
+
+    def test_memory_bound_app_generates_misses(self):
+        core, net = make_core("mcf")
+        for c in range(200):
+            core.step(c)
+            self_deliver(core, net, c, lag=5)
+        assert core.misses_issued.sum() > 100
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            make_core(mshr_limit=0)
+        with pytest.raises(ValueError):
+            make_core(mshr_limit=SEQ_RING)
+
+
+def self_deliver(core, net, cycle, lag):
+    """Deliver replies for all requests issued at least *lag* cycles ago."""
+    remaining = []
+    for issued_cycle, nodes, dest, seq in net.requests:
+        if cycle - issued_cycle >= lag:
+            core.on_reply_flits(np.repeat(nodes, 2), np.repeat(seq, 2))
+        else:
+            remaining.append((issued_cycle, nodes, dest, seq))
+    net.requests = remaining
+
+
+class TestSelfThrottling:
+    def test_no_replies_means_core_stalls_at_mshr(self):
+        """Without any replies a core issues at most mshr_limit misses —
+        the paper's self-throttling property (§3.1)."""
+        core, net = make_core("mcf", mshr_limit=8)
+        for c in range(2000):
+            core.step(c)
+        assert core.outstanding.max() <= 8
+        assert core.misses_issued.max() <= 8
+        assert core.stall_cycles.sum() > 0
+
+    def test_replies_release_stall(self):
+        core, net = make_core("mcf", mshr_limit=4)
+        for c in range(300):
+            core.step(c)
+            self_deliver(core, net, c, lag=8)
+        # the core keeps making progress well past 4 misses
+        assert core.misses_issued.min() > 20
+
+    def test_slower_replies_mean_lower_ipc(self):
+        def run(lag):
+            core, net = make_core("mcf", mshr_limit=4)
+            for c in range(1500):
+                core.step(c)
+                self_deliver(core, net, c, lag=lag)
+            return core.ipc(1500).mean()
+
+        assert run(50) < run(5) * 0.75
+
+    def test_backpressure_stalls(self):
+        core, net = make_core("mcf")
+        net.backpressure = np.ones(16, dtype=bool)
+        for c in range(300):
+            core.step(c)
+        # cores stall against the full queue after their first gap
+        assert not net.requests
+        assert core.stall_cycles.sum() > 0
+
+
+class TestWindowModel:
+    def test_straggler_blocks_window(self):
+        """In-order retirement: an unanswered oldest miss caps progress
+        at window_size instructions even when later misses complete."""
+        core, net = make_core("mcf", window_size=64, mshr_limit=16)
+        # Run, answering every miss EXCEPT the very first one issued.
+        first = None
+        for c in range(2000):
+            core.step(c)
+            remaining = []
+            for issued_cycle, nodes, dest, seq in net.requests:
+                for i in range(nodes.size):
+                    key = (int(nodes[i]), int(seq[i]))
+                    if first is None:
+                        first = key
+                        continue  # never answer the first miss
+                    if key != first:
+                        core.on_reply_flits(
+                            np.array([nodes[i]] * 2), np.array([seq[i]] * 2)
+                        )
+            net.requests = []
+        node = first[0]
+        # Progress stopped within window_size of the unanswered miss.
+        assert core.retired[node] <= core._issue_pos[node, first[1]] + 64
+        assert core.window_stall_cycles[node] > 0
+
+    def test_window_not_binding_for_short_latencies(self):
+        core, net = make_core("mcf", window_size=128)
+        for c in range(500):
+            core.step(c)
+            self_deliver(core, net, c, lag=4)
+        assert core.window_stall_cycles.sum() == 0
+
+
+class TestEpochCounters:
+    def test_measured_ipf_tracks_application(self):
+        core, net = make_core("mcf")
+        for c in range(2000):
+            core.step(c)
+            self_deliver(core, net, c, lag=5)
+        ipf = core.measured_ipf()
+        # mcf: IPF ~= 1 (Table 1); gap model uses IPF * 3 flits/miss
+        assert 0.4 < ipf.mean() < 2.5
+
+    def test_reset_epoch_clears_counters(self):
+        core, net = make_core("mcf")
+        for c in range(100):
+            core.step(c)
+            self_deliver(core, net, c, lag=5)
+        assert core.epoch_insns.sum() > 0
+        core.reset_epoch()
+        assert core.epoch_insns.sum() == 0
+        assert core.epoch_flits.sum() == 0
+
+    def test_idle_node_reports_infinite_ipf(self):
+        specs = [APPLICATION_CATALOG["mcf"], None]
+        behavior = ApplicationBehaviorArray(specs, phase_sigma=0.0)
+        net = FakeNetwork(2)
+        core = CoreArray(behavior, FakeLocality(), net, rng=np.random.default_rng(0))
+        for c in range(50):
+            core.step(c)
+        assert np.isinf(core.measured_ipf()[1])
+
+
+class TestCompletionAccounting:
+    def test_duplicate_node_completions_in_one_cycle(self):
+        """Two packets finishing at one node in one call must both count."""
+        core, net = make_core("mcf", mshr_limit=8)
+        for c in range(50):
+            core.step(c)
+        node = 0
+        reqs = [(n, s) for _, nodes, _, seqs in net.requests
+                for n, s in zip(nodes.tolist(), seqs.tolist()) if n == node][:2]
+        assert len(reqs) == 2
+        before = int(core.outstanding[node])
+        nodes = np.array([node] * 4)
+        seqs = np.array([reqs[0][1], reqs[0][1], reqs[1][1], reqs[1][1]])
+        core.on_reply_flits(nodes, seqs)
+        assert core.outstanding[node] == before - 2
+
+    def test_outstanding_never_negative(self):
+        core, net = make_core("mcf")
+        for c in range(500):
+            core.step(c)
+            self_deliver(core, net, c, lag=3)
+            assert (core.outstanding >= 0).all()

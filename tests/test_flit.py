@@ -1,0 +1,91 @@
+"""Unit tests for the packed flit representation."""
+
+import numpy as np
+import pytest
+
+from repro.network.flit import (
+    CBIT_MASK,
+    FLIT_CONTROL,
+    FLIT_REPLY,
+    FLIT_REQUEST,
+    HOP_ONE,
+    MAX_NODES,
+    SEQ_RING,
+    meta_cbit,
+    meta_dest,
+    meta_hops,
+    meta_kind,
+    meta_seq,
+    meta_src,
+    pack_meta,
+    priority_key,
+)
+
+
+class TestPackUnpack:
+    def test_roundtrip_scalar_fields(self):
+        meta = pack_meta(5, 9, FLIT_REPLY, 17)
+        assert meta_dest(meta) == 5
+        assert meta_src(meta) == 9
+        assert meta_kind(meta) == FLIT_REPLY
+        assert meta_seq(meta) == 17
+        assert meta_hops(meta) == 0
+        assert meta_cbit(meta) == 0
+
+    def test_roundtrip_extreme_values(self):
+        meta = pack_meta(MAX_NODES - 1, MAX_NODES - 1, FLIT_CONTROL, SEQ_RING - 1)
+        assert meta_dest(meta) == MAX_NODES - 1
+        assert meta_src(meta) == MAX_NODES - 1
+        assert meta_kind(meta) == FLIT_CONTROL
+        assert meta_seq(meta) == SEQ_RING - 1
+
+    def test_roundtrip_vectorized(self):
+        rng = np.random.default_rng(0)
+        dest = rng.integers(0, MAX_NODES, 1000)
+        src = rng.integers(0, MAX_NODES, 1000)
+        kind = rng.integers(0, 3, 1000)
+        seq = rng.integers(0, SEQ_RING, 1000)
+        meta = pack_meta(dest, src, kind, seq)
+        np.testing.assert_array_equal(meta_dest(meta), dest)
+        np.testing.assert_array_equal(meta_src(meta), src)
+        np.testing.assert_array_equal(meta_kind(meta), kind)
+        np.testing.assert_array_equal(meta_seq(meta), seq)
+
+    def test_hop_increment_preserves_identity(self):
+        meta = pack_meta(3, 7, FLIT_REQUEST, 2)
+        for hops in range(1, 200):
+            meta = meta + HOP_ONE
+            assert meta_hops(meta) == hops
+        assert meta_dest(meta) == 3
+        assert meta_src(meta) == 7
+        assert meta_seq(meta) == 2
+
+    def test_cbit_set_preserves_identity(self):
+        meta = pack_meta(3, 7, FLIT_REPLY, 200) + 5 * HOP_ONE
+        marked = meta | CBIT_MASK
+        assert meta_cbit(marked) == 1
+        assert meta_dest(marked) == 3
+        assert meta_src(marked) == 7
+        assert meta_seq(marked) == 200
+        assert meta_hops(marked) == 5
+
+    def test_kinds_are_distinct(self):
+        assert len({FLIT_REQUEST, FLIT_REPLY, FLIT_CONTROL}) == 3
+
+
+class TestPriorityKey:
+    def test_older_flit_wins(self):
+        assert priority_key(5, 100) < priority_key(6, 0)
+
+    def test_src_breaks_ties(self):
+        a = priority_key(5, 1)
+        b = priority_key(5, 2)
+        assert a < b
+
+    def test_keys_are_total_order_over_unique_pairs(self):
+        rng = np.random.default_rng(1)
+        birth = rng.integers(0, 10_000_000, 5000)
+        src = rng.integers(0, MAX_NODES, 5000)
+        keys = priority_key(birth, src)
+        pairs = set(zip(birth.tolist(), src.tolist()))
+        assert len(np.unique(keys)) == len(pairs)

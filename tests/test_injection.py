@@ -1,0 +1,108 @@
+"""Unit tests for the starvation meter and Algorithm-3 throttle gate."""
+
+import numpy as np
+import pytest
+
+from repro.network.injection import InjectionThrottleGate, StarvationMeter
+
+
+class TestStarvationMeter:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            StarvationMeter(4, 0)
+
+    def test_zero_before_updates(self):
+        meter = StarvationMeter(3, 8)
+        np.testing.assert_array_equal(meter.rate(), [0, 0, 0])
+
+    def test_all_starved_rate_one(self):
+        meter = StarvationMeter(2, 4)
+        for _ in range(4):
+            meter.update(np.array([True, False]))
+        np.testing.assert_allclose(meter.rate(), [1.0, 0.0])
+
+    def test_partial_window_denominator(self):
+        meter = StarvationMeter(1, 100)
+        meter.update(np.array([True]))
+        meter.update(np.array([False]))
+        assert meter.rate()[0] == pytest.approx(0.5)
+
+    def test_window_slides(self):
+        meter = StarvationMeter(1, 4)
+        for _ in range(4):
+            meter.update(np.array([True]))
+        for _ in range(4):
+            meter.update(np.array([False]))
+        assert meter.rate()[0] == 0.0
+
+    def test_alternating_half_rate(self):
+        meter = StarvationMeter(1, 128)
+        for i in range(256):
+            meter.update(np.array([i % 2 == 0]))
+        assert meter.rate()[0] == pytest.approx(0.5)
+
+    def test_hardware_cost_matches_paper_window(self):
+        meter = StarvationMeter(4, 128)
+        # W-bit shift register plus an up/down counter counting to W.
+        assert meter.storage_bits_per_node() == 128 + 8
+
+
+class TestThrottleGate:
+    def test_rates_validated(self):
+        gate = InjectionThrottleGate(4)
+        with pytest.raises(ValueError):
+            gate.set_rates(np.array([0.5, 1.2, 0.0, 0.0]))
+        with pytest.raises(ValueError):
+            gate.set_rates(np.zeros(3))
+
+    def test_zero_rate_always_allows(self):
+        gate = InjectionThrottleGate(2)
+        trying = np.array([True, True])
+        for _ in range(300):
+            allowed = gate.decide(trying)
+            assert allowed.all()
+
+    def test_blocks_exact_fraction_over_period(self):
+        gate = InjectionThrottleGate(1)
+        gate.set_rates(np.array([0.5]))
+        allowed = sum(
+            int(gate.decide(np.array([True]))[0]) for _ in range(gate.MAX_COUNT)
+        )
+        assert allowed == gate.MAX_COUNT // 2
+
+    @pytest.mark.parametrize("rate", [0.25, 0.75, 0.9])
+    def test_long_run_block_fraction(self, rate):
+        gate = InjectionThrottleGate(1)
+        gate.set_rates(np.array([rate]))
+        n = gate.MAX_COUNT * 8
+        allowed = sum(int(gate.decide(np.array([True]))[0]) for _ in range(n))
+        assert allowed / n == pytest.approx(1 - rate, abs=0.02)
+
+    def test_counter_only_advances_on_attempts(self):
+        """Algorithm 3: the counter ticks only when trying with a free link."""
+        gate = InjectionThrottleGate(2)
+        gate.set_rates(np.array([0.5, 0.5]))
+        for _ in range(10):
+            gate.decide(np.array([True, False]))
+        assert gate.counter[0] == 10
+        assert gate.counter[1] == 0
+
+    def test_not_trying_is_never_allowed(self):
+        gate = InjectionThrottleGate(2)
+        allowed = gate.decide(np.array([False, False]))
+        assert not allowed.any()
+
+    def test_per_node_rates_independent(self):
+        gate = InjectionThrottleGate(2)
+        gate.set_rates(np.array([0.0, 0.9]))
+        trying = np.array([True, True])
+        a = b = 0
+        for _ in range(gate.MAX_COUNT * 4):
+            allowed = gate.decide(trying)
+            a += int(allowed[0])
+            b += int(allowed[1])
+        assert a == gate.MAX_COUNT * 4
+        assert b / (gate.MAX_COUNT * 4) == pytest.approx(0.1, abs=0.02)
+
+    def test_storage_is_seven_bits(self):
+        assert InjectionThrottleGate(4).storage_bits_per_node() == 7

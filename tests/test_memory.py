@@ -1,0 +1,102 @@
+"""Unit tests for the shared-cache service model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.memory import MemorySystem
+
+
+class FakeNetwork:
+    def __init__(self, full_nodes=()):
+        self.replies = []
+        self.full_nodes = set(full_nodes)
+
+    def enqueue_replies(self, nodes, dest, flits, cycle=0, seq=0):
+        nodes = np.asarray(nodes)
+        ok = np.array([n not in self.full_nodes for n in nodes.tolist()])
+        for n, d, q, o in zip(nodes.tolist(), np.asarray(dest).tolist(),
+                              np.broadcast_to(seq, nodes.shape).tolist(), ok):
+            if o:
+                self.replies.append((cycle, n, d, q))
+        return ok
+
+
+class TestServiceLatency:
+    def test_reply_after_exact_latency(self):
+        """A request ejected during cycle c (reported after step(c))
+        produces its reply during step(c + l2_latency)."""
+        net = FakeNetwork()
+        mem = MemorySystem(net, l2_latency=6)
+        for c in range(20):
+            mem.step(c)
+            if c == 0:
+                mem.on_requests(np.array([3]), np.array([7]), np.array([9]))
+        assert len(net.replies) == 1
+        cycle, server, requester, seq = net.replies[0]
+        assert cycle == 6
+        assert (server, requester, seq) == (3, 7, 9)
+
+    def test_latency_one(self):
+        net = FakeNetwork()
+        mem = MemorySystem(net, l2_latency=1)
+        mem.step(0)
+        mem.on_requests(np.array([0]), np.array([1]), np.array([0]))
+        mem.step(1)
+        assert net.replies and net.replies[0][0] == 1
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            MemorySystem(FakeNetwork(), l2_latency=0)
+
+    def test_empty_request_batches_ignored(self):
+        net = FakeNetwork()
+        mem = MemorySystem(net, l2_latency=3)
+        mem.on_requests(np.zeros(0), np.zeros(0), np.zeros(0))
+        for c in range(10):
+            mem.step(c)
+        assert not net.replies
+        assert mem.pending_replies() == 0
+
+
+class TestSerialization:
+    def test_one_reply_per_server_per_cycle(self):
+        """Two requests hitting one slice: replies on consecutive cycles."""
+        net = FakeNetwork()
+        mem = MemorySystem(net, l2_latency=4)
+        for c in range(20):
+            mem.step(c)
+            if c == 0:
+                mem.on_requests(np.array([5, 5]), np.array([1, 2]), np.array([0, 0]))
+        cycles = [r[0] for r in net.replies]
+        assert cycles == [4, 5]
+        assert {r[2] for r in net.replies} == {1, 2}
+
+    def test_full_queue_defers_and_retries(self):
+        net = FakeNetwork(full_nodes=[5])
+        mem = MemorySystem(net, l2_latency=2)
+        mem.on_requests(np.array([5]), np.array([1]), np.array([0]))
+        for c in range(5):
+            mem.step(c)
+        assert not net.replies
+        assert mem.pending_replies() == 1
+        net.full_nodes = set()
+        mem.step(5)
+        assert len(net.replies) == 1
+
+    def test_no_request_lost_under_bursts(self):
+        rng = np.random.default_rng(0)
+        net = FakeNetwork()
+        mem = MemorySystem(net, l2_latency=3)
+        total = 0
+        for c in range(100):
+            servers = rng.integers(0, 4, size=rng.integers(0, 6))
+            if servers.size:
+                mem.on_requests(servers, servers + 10, np.zeros(servers.size))
+                total += servers.size
+            mem.step(c)
+        for c in range(100, 300):
+            mem.step(c)
+        assert len(net.replies) == total
+        assert mem.pending_replies() == 0
+        assert mem.requests_serviced == total
+        assert mem.replies_issued == total

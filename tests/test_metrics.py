@@ -1,0 +1,80 @@
+"""Unit tests for system-level metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import max_slowdown, system_throughput, weighted_speedup
+from repro.metrics.collectors import EpochSeries
+
+
+class TestSystemThroughput:
+    def test_sums_ipc(self):
+        assert system_throughput([1.0, 2.0, 0.5]) == 3.5
+
+    def test_empty(self):
+        assert system_throughput(np.zeros(0)) == 0.0
+
+
+class TestWeightedSpeedup:
+    def test_no_interference_equals_n(self):
+        """§6.2: WS is N in an ideal N-node system with no interference."""
+        alone = np.array([1.0, 2.0, 3.0])
+        assert weighted_speedup(alone, alone) == pytest.approx(3.0)
+
+    def test_contention_lowers_ws(self):
+        alone = np.array([2.0, 2.0])
+        shared = np.array([1.0, 2.0])
+        assert weighted_speedup(shared, alone) == pytest.approx(1.5)
+
+    def test_idle_nodes_excluded(self):
+        alone = np.array([2.0, 0.0])
+        shared = np.array([1.0, 0.0])
+        assert weighted_speedup(shared, alone) == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup(np.ones(3), np.ones(2))
+
+    def test_unfair_throughput_gain_visible(self):
+        """Raising ΣIPC by starving a slow app does not raise WS — the
+        reason the paper evaluates with WS at all."""
+        alone = np.array([0.5, 3.0])
+        fair = np.array([0.4, 2.4])
+        unfair = np.array([0.05, 3.0])  # higher ΣIPC? no: 3.05 > 2.8
+        assert system_throughput(unfair) > system_throughput(fair)
+        assert weighted_speedup(unfair, alone) < weighted_speedup(fair, alone)
+
+
+class TestMaxSlowdown:
+    def test_ideal_is_one(self):
+        alone = np.array([1.0, 2.0])
+        assert max_slowdown(alone, alone) == pytest.approx(1.0)
+
+    def test_picks_worst(self):
+        alone = np.array([1.0, 2.0])
+        shared = np.array([0.5, 1.9])
+        assert max_slowdown(shared, alone) == pytest.approx(2.0)
+
+    def test_all_idle(self):
+        assert max_slowdown(np.zeros(2), np.zeros(2)) == 1.0
+
+
+class TestEpochSeries:
+    def test_append_and_read(self):
+        s = EpochSeries()
+        s.append(100, util=0.5, ipc=1.0)
+        s.append(200, util=0.7, ipc=0.9)
+        np.testing.assert_allclose(s["util"], [0.5, 0.7])
+        assert s.cycles == [100, 200]
+        assert len(s) == 2
+
+    def test_unknown_series_raises(self):
+        s = EpochSeries()
+        s.append(1, util=0.1)
+        with pytest.raises(KeyError):
+            s["nope"]
+
+    def test_names_sorted(self):
+        s = EpochSeries()
+        s.append(1, b=1.0, a=2.0)
+        assert s.names() == ["a", "b"]

@@ -1,0 +1,80 @@
+"""Unit tests for the power model (Fig 16, §2.2)."""
+
+import pytest
+
+from repro.network.base import NetworkStats
+from repro.power import PowerCoefficients, PowerModel, PowerReport
+
+
+def stats(cycles=1000, hops=0, injected=0, bw=0, br=0):
+    s = NetworkStats()
+    s.init_arrays(4)
+    s.cycles = cycles
+    s.flit_hops = hops
+    s.injected_flits = injected
+    s.buffer_writes = bw
+    s.buffer_reads = br
+    return s
+
+
+class TestAccounting:
+    def test_idle_network_pays_only_static(self):
+        model = PowerModel()
+        rep = model.report(stats(), num_nodes=16, buffered=False)
+        assert rep.dynamic_energy == 0.0
+        assert rep.static_energy == pytest.approx(
+            PowerCoefficients().static_bless * 16 * 1000
+        )
+
+    def test_dynamic_scales_with_hops(self):
+        model = PowerModel()
+        one = model.report(stats(hops=100), 16, buffered=False)
+        two = model.report(stats(hops=200), 16, buffered=False)
+        assert two.dynamic_energy == pytest.approx(2 * one.dynamic_energy)
+
+    def test_buffer_ops_charged_only_when_present(self):
+        model = PowerModel()
+        rep = model.report(stats(hops=100, bw=100, br=100), 16, buffered=True)
+        base = model.report(stats(hops=100), 16, buffered=True)
+        assert rep.dynamic_energy > base.dynamic_energy
+
+    def test_average_power_is_energy_per_cycle(self):
+        rep = PowerReport(dynamic_energy=500.0, static_energy=500.0, cycles=100)
+        assert rep.average_power == 10.0
+
+    def test_zero_cycle_report(self):
+        rep = PowerReport(0.0, 0.0, 0)
+        assert rep.average_power == 0.0
+
+    def test_reduction_vs(self):
+        a = PowerReport(80.0, 0.0, 10)
+        b = PowerReport(100.0, 0.0, 10)
+        assert a.reduction_vs(b) == pytest.approx(0.2)
+        assert b.reduction_vs(a) == pytest.approx(-0.25)
+
+
+class TestPaperClaims:
+    def test_bufferless_saves_20_to_40_percent_at_moderate_load(self):
+        """§2.2: removing buffers cuts network power by 20-40%."""
+        model = PowerModel()
+        cycles, nodes = 10_000, 64
+        hops = int(0.5 * nodes * cycles)  # moderate per-node activity
+        injected = hops // 3
+        bless = model.report(
+            stats(cycles, hops, injected), nodes, buffered=False
+        )
+        buffered = model.report(
+            stats(cycles, hops, injected, bw=hops + injected, br=hops + injected),
+            nodes,
+            buffered=True,
+        )
+        saving = bless.reduction_vs(buffered)
+        assert 0.20 < saving < 0.45
+
+    def test_deflections_cost_energy_through_extra_hops(self):
+        """A deflected flit pays for its detour: power grows with hops
+        even at equal delivered traffic."""
+        model = PowerModel()
+        efficient = model.report(stats(hops=10_000, injected=3000), 16, False)
+        deflected = model.report(stats(hops=16_000, injected=3000), 16, False)
+        assert deflected.average_power > efficient.average_power * 1.3

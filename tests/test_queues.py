@@ -1,0 +1,99 @@
+"""Unit tests for the vectorized flit queues."""
+
+import numpy as np
+import pytest
+
+from repro.network.queues import FlitQueueArray
+
+
+def _push_one(q, node, dest, kind=0, flits=1, stamp=0, seq=0):
+    return q.push(np.array([node]), np.array([dest]), kind, flits, stamp, seq)
+
+
+class TestPush:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FlitQueueArray(4, 0)
+
+    def test_push_and_peek(self):
+        q = FlitQueueArray(4, 8)
+        _push_one(q, 2, 11, kind=1)
+        dest, kind = q.peek(np.array([2]))
+        assert dest[0] == 11
+        assert kind[0] == 1
+
+    def test_push_empty_call(self):
+        q = FlitQueueArray(4, 8)
+        ok = q.push(np.zeros(0, dtype=np.int64), np.zeros(0), 0, 1)
+        assert ok.size == 0
+
+    def test_full_queue_rejects(self):
+        q = FlitQueueArray(2, 3)
+        for _ in range(3):
+            assert _push_one(q, 0, 1)[0]
+        assert not _push_one(q, 0, 1)[0]
+        assert q.is_full[0]
+        assert not q.is_full[1]
+
+    def test_vector_push_mixed_acceptance(self):
+        q = FlitQueueArray(3, 1)
+        _push_one(q, 0, 9)
+        ok = q.push(np.array([0, 1, 2]), np.array([4, 5, 6]), 0, 1)
+        np.testing.assert_array_equal(ok, [False, True, True])
+        dest, _ = q.peek(np.array([1, 2]))
+        np.testing.assert_array_equal(dest, [5, 6])
+
+    def test_nonempty_mask(self):
+        q = FlitQueueArray(3, 4)
+        _push_one(q, 1, 0)
+        np.testing.assert_array_equal(q.nonempty, [False, True, False])
+
+
+class TestTakeFlit:
+    def test_single_flit_packet_pops(self):
+        q = FlitQueueArray(2, 4)
+        _push_one(q, 0, 7, flits=1, seq=3)
+        dest, kind, seq, stamp, done = q.take_flit(np.array([0]))
+        assert dest[0] == 7
+        assert seq[0] == 3
+        assert done[0]
+        assert q.count[0] == 0
+
+    def test_multi_flit_packet_drains_over_takes(self):
+        q = FlitQueueArray(2, 4)
+        _push_one(q, 0, 7, flits=3)
+        for i in range(3):
+            dest, _, _, _, done = q.take_flit(np.array([0]))
+            assert dest[0] == 7
+            assert done[0] == (i == 2)
+        assert q.count[0] == 0
+
+    def test_fifo_order(self):
+        q = FlitQueueArray(1, 4)
+        for dest in (10, 20, 30):
+            _push_one(q, 0, dest)
+        seen = [int(q.take_flit(np.array([0]))[0][0]) for _ in range(3)]
+        assert seen == [10, 20, 30]
+
+    def test_stamp_carried(self):
+        q = FlitQueueArray(1, 4)
+        _push_one(q, 0, 1, stamp=42)
+        _, _, _, stamp, _ = q.take_flit(np.array([0]))
+        assert stamp[0] == 42
+
+    def test_ring_wraparound(self):
+        q = FlitQueueArray(1, 2)
+        for round_ in range(5):
+            _push_one(q, 0, round_)
+            _push_one(q, 0, round_ + 100)
+            a = int(q.take_flit(np.array([0]))[0][0])
+            b = int(q.take_flit(np.array([0]))[0][0])
+            assert (a, b) == (round_, round_ + 100)
+
+    def test_queued_flits_total(self):
+        q = FlitQueueArray(3, 4)
+        _push_one(q, 0, 1, flits=2)
+        _push_one(q, 1, 1, flits=3)
+        assert q.queued_flits_total() == 5
+        q.take_flit(np.array([1]))
+        assert q.queued_flits_total() == 4

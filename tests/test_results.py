@@ -1,0 +1,60 @@
+"""Tests for the SimulationResult aggregate properties."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collectors import EpochSeries
+from repro.power.model import PowerReport
+from repro.sim.results import SimulationResult
+
+
+def make_result(ipc, active):
+    ipc = np.asarray(ipc, dtype=float)
+    active = np.asarray(active, dtype=bool)
+    n = ipc.size
+    return SimulationResult(
+        cycles=1000,
+        num_nodes=n,
+        ipc=ipc,
+        active=active,
+        ipf=np.ones(n),
+        starvation_rate=np.full(n, 0.25),
+        port_starvation_rate=np.full(n, 0.10),
+        avg_net_latency=15.0,
+        max_net_latency=60,
+        avg_injection_latency=3.0,
+        avg_hops=4.0,
+        deflection_rate=0.2,
+        network_utilization=0.7,
+        injected_flits=1234,
+        ejected_flits=1200,
+        power=PowerReport(500.0, 500.0, 1000),
+        epochs=EpochSeries(),
+    )
+
+
+class TestAggregates:
+    def test_system_throughput_sums_all(self):
+        res = make_result([1.0, 2.0, 0.0, 0.0], [True, True, False, False])
+        assert res.system_throughput == 3.0
+
+    def test_throughput_per_node_uses_active_only(self):
+        res = make_result([1.0, 2.0, 0.0, 0.0], [True, True, False, False])
+        assert res.throughput_per_node == pytest.approx(1.5)
+
+    def test_all_idle_throughput_zero(self):
+        res = make_result([0.0, 0.0], [False, False])
+        assert res.throughput_per_node == 0.0
+        assert res.mean_starvation == 0.0
+        assert res.mean_port_starvation == 0.0
+
+    def test_mean_starvations(self):
+        res = make_result([1.0, 1.0], [True, True])
+        assert res.mean_starvation == pytest.approx(0.25)
+        assert res.mean_port_starvation == pytest.approx(0.10)
+
+    def test_summary_contains_metrics(self):
+        res = make_result([1.0, 1.0], [True, True])
+        text = res.summary()
+        for token in ("IPC/node", "util", "latency", "starvation", "power"):
+            assert token in text

@@ -1,0 +1,32 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+
+from repro.rng import child_rng, named_rngs
+
+
+class TestChildRng:
+    def test_same_seed_and_name_reproduce(self):
+        a = child_rng(7, "destinations").random(100)
+        b = child_rng(7, "destinations").random(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        a = child_rng(7, "destinations").random(100)
+        b = child_rng(7, "phases").random(100)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = child_rng(7, "destinations").random(100)
+        b = child_rng(8, "destinations").random(100)
+        assert not np.array_equal(a, b)
+
+    def test_name_prefixes_do_not_collide(self):
+        a = child_rng(7, "ab").random(10)
+        b = child_rng(7, "abc").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_named_rngs_builds_all(self):
+        rngs = named_rngs(1, ["x", "y"])
+        assert set(rngs) == {"x", "y"}
+        assert not np.array_equal(rngs["x"].random(10), rngs["y"].random(10))

@@ -1,0 +1,73 @@
+"""Unit tests for trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.applications import APPLICATION_CATALOG, ApplicationBehaviorArray
+from repro.traffic.trace import GapTrace, TracedBehaviorArray
+
+
+class TestGapTrace:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            GapTrace([])
+
+    def test_rejects_sub_instruction_gaps(self):
+        with pytest.raises(ValueError):
+            GapTrace([np.array([0.5, 2.0])])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = GapTrace([np.array([3.0, 4.0]), np.zeros(0), np.array([7.0])])
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = GapTrace.load(path)
+        assert loaded.num_nodes == 3
+        np.testing.assert_array_equal(loaded.gaps[0], [3.0, 4.0])
+        assert loaded.gaps[1].size == 0
+
+    def test_record_from_behavior(self, rng):
+        specs = [APPLICATION_CATALOG["mcf"], None]
+        behavior = ApplicationBehaviorArray(specs, phase_sigma=0.0)
+        trace = GapTrace.record(behavior, 100, rng)
+        assert trace.gaps[0].size == 100
+        assert trace.gaps[1].size == 0
+
+
+class TestTracedBehavior:
+    def test_replays_in_order_and_loops(self):
+        trace = GapTrace([np.array([3.0, 5.0, 7.0])])
+        behavior = TracedBehaviorArray(trace)
+        rng = np.random.default_rng(0)
+        node = np.array([0])
+        seen = [behavior.sample_gap(node, rng)[0] for _ in range(5)]
+        assert seen == [3.0, 5.0, 7.0, 3.0, 5.0]
+
+    def test_active_mask_from_trace(self):
+        trace = GapTrace([np.array([3.0]), np.zeros(0)])
+        behavior = TracedBehaviorArray(trace)
+        np.testing.assert_array_equal(behavior.active, [True, False])
+
+    def test_mean_ipf_derived_from_gaps(self):
+        trace = GapTrace([np.array([6.0, 6.0])])
+        behavior = TracedBehaviorArray(trace, flits_per_miss=3)
+        assert behavior.mean_ipf[0] == pytest.approx(2.0)
+
+    def test_recorded_trace_reproduces_statistics(self, rng):
+        spec = APPLICATION_CATALOG["gromacs"]
+        behavior = ApplicationBehaviorArray([spec], phase_sigma=0.0)
+        trace = GapTrace.record(behavior, 20_000, rng)
+        replay = TracedBehaviorArray(trace)
+        assert replay.mean_ipf[0] == pytest.approx(spec.mean_ipf, rel=0.1)
+
+    def test_usable_in_simulator(self, rng):
+        """A traced behavior drives the full simulator end to end."""
+        from repro import SimulationConfig, Simulator, make_homogeneous_workload
+
+        wl = make_homogeneous_workload("mcf", 16)
+        cfg = SimulationConfig(wl, seed=0, epoch=500)
+        sim = Simulator(cfg)
+        trace = GapTrace.record(sim.behavior, 500, rng)
+        sim.behavior = TracedBehaviorArray(trace)
+        sim.cores.behavior = sim.behavior
+        res = sim.run(1500)
+        assert res.system_throughput > 0

@@ -1,0 +1,87 @@
+"""Unit tests for workload construction (§6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.workloads import (
+    WORKLOAD_CATEGORIES,
+    Workload,
+    make_category_workload,
+    make_checkerboard_workload,
+    make_homogeneous_workload,
+    make_workload_batch,
+)
+from repro.traffic.applications import APPLICATION_CATALOG
+
+
+class TestCategories:
+    def test_seven_paper_categories(self):
+        assert set(WORKLOAD_CATEGORIES) == {"H", "M", "L", "HML", "HM", "HL", "ML"}
+
+    @pytest.mark.parametrize("category", WORKLOAD_CATEGORIES)
+    def test_apps_drawn_from_declared_levels(self, category, rng):
+        wl = make_category_workload(category, 64, rng)
+        allowed = set(category)
+        for spec in wl.specs():
+            assert spec.intensity in allowed
+
+    def test_unknown_category_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_category_workload("X", 16, rng)
+
+    def test_workload_size(self, rng):
+        assert make_category_workload("HML", 256, rng).num_nodes == 256
+
+    def test_randomness_is_seeded(self):
+        a = make_category_workload("HML", 16, np.random.default_rng(5))
+        b = make_category_workload("HML", 16, np.random.default_rng(5))
+        assert a.app_names == b.app_names
+
+    def test_mixed_category_actually_mixes(self, rng):
+        wl = make_category_workload("HL", 256, rng)
+        counts = wl.intensity_counts()
+        assert counts["H"] > 0
+        assert counts["L"] > 0
+        assert counts["M"] == 0
+
+
+class TestOtherConstructors:
+    def test_homogeneous(self):
+        wl = make_homogeneous_workload("mcf", 16)
+        assert set(wl.app_names) == {"mcf"}
+        assert wl.category == "H"
+
+    def test_homogeneous_unknown_app(self):
+        with pytest.raises(ValueError):
+            make_homogeneous_workload("quake3", 16)
+
+    def test_checkerboard_pattern(self):
+        wl = make_checkerboard_workload("mcf", "gromacs", 4)
+        assert wl.app_names[0] == "mcf"
+        assert wl.app_names[1] == "gromacs"
+        assert wl.app_names[4] == "gromacs"  # next row starts shifted
+        assert wl.app_names.count("mcf") == 8
+        assert wl.app_names.count("gromacs") == 8
+
+    def test_checkerboard_unknown_app(self):
+        with pytest.raises(ValueError):
+            make_checkerboard_workload("mcf", "nope", 4)
+
+    def test_batch_cycles_categories(self, rng):
+        batch = make_workload_batch(14, 16, rng)
+        assert len(batch) == 14
+        cats = [wl.category for wl in batch]
+        assert cats[:7] == list(WORKLOAD_CATEGORIES)
+        assert cats[7:] == list(WORKLOAD_CATEGORIES)
+
+    def test_specs_resolve_catalog(self, rng):
+        wl = make_category_workload("M", 16, rng)
+        for name, spec in zip(wl.app_names, wl.specs()):
+            assert spec is APPLICATION_CATALOG[name]
+
+    def test_workload_with_idle_nodes(self):
+        wl = Workload(("mcf", None, "povray", None))
+        assert wl.num_nodes == 4
+        specs = wl.specs()
+        assert specs[1] is None
+        assert wl.intensity_counts() == {"H": 1, "M": 0, "L": 1}
