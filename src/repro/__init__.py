@@ -33,6 +33,17 @@ from repro.control import (
     StaticThrottleController,
     mechanism_hardware_cost,
 )
+from repro.guardrails import (
+    FaultConfig,
+    FaultModel,
+    GuardrailError,
+    GuardrailReport,
+    InvariantChecker,
+    InvariantViolation,
+    LivelockError,
+    ProgressWatchdog,
+    SimulationTimeout,
+)
 from repro.metrics import max_slowdown, system_throughput, weighted_speedup
 from repro.network import BlessNetwork, BufferedNetwork
 from repro.power import PowerCoefficients, PowerModel, PowerReport
@@ -81,6 +92,15 @@ __all__ = [
     "PowerModel",
     "PowerCoefficients",
     "PowerReport",
+    "FaultConfig",
+    "FaultModel",
+    "GuardrailError",
+    "GuardrailReport",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LivelockError",
+    "ProgressWatchdog",
+    "SimulationTimeout",
     "ApplicationSpec",
     "APPLICATION_CATALOG",
     "ApplicationBehaviorArray",

@@ -27,6 +27,7 @@ from repro import (
     make_category_workload,
     make_homogeneous_workload,
 )
+from repro.guardrails import FaultConfig, GuardrailError
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +66,38 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--locality", choices=("uniform", "exponential",
                                                "powerlaw"), default="uniform")
     parser.add_argument("--locality-param", type=float, default=1.0)
+    guard = parser.add_argument_group("guardrails")
+    guard.add_argument(
+        "--check-invariants", action="store_true",
+        help="verify the no-drop/eject-width/age-order invariants every cycle",
+    )
+    guard.add_argument(
+        "--watchdog", type=int, default=0, metavar="WINDOW",
+        help="fail fast after WINDOW cycles without ejection progress "
+             "(0 = off)",
+    )
+    guard.add_argument(
+        "--max-flit-age", type=int, default=0, metavar="CYCLES",
+        help="fail fast when an in-flight flit exceeds this age (0 = off)",
+    )
+    guard.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the run",
+    )
+    faults = parser.add_argument_group("fault injection")
+    faults.add_argument(
+        "--link-faults", type=float, default=0.0, metavar="RATE",
+        help="fraction of links failed permanently before the run",
+    )
+    faults.add_argument(
+        "--router-faults", type=float, default=0.0, metavar="RATE",
+        help="fraction of routers fail-stopped before the run",
+    )
+    faults.add_argument(
+        "--transient-faults", type=float, default=0.0, metavar="RATE",
+        help="per-link per-cycle probability of a one-cycle fault",
+    )
+    faults.add_argument("--fault-seed", type=int, default=0)
     return parser
 
 
@@ -86,6 +119,14 @@ def main(argv=None) -> int:
         rng = np.random.default_rng(args.seed)
         workload = make_category_workload(args.category or "H", args.nodes, rng)
 
+    faults = None
+    if args.link_faults or args.router_faults or args.transient_faults:
+        faults = FaultConfig(
+            link_fault_rate=args.link_faults,
+            router_fault_rate=args.router_faults,
+            transient_fault_rate=args.transient_faults,
+            seed=args.fault_seed,
+        )
     config = SimulationConfig(
         workload,
         seed=args.seed,
@@ -94,18 +135,32 @@ def main(argv=None) -> int:
         topology=args.topology,
         locality=args.locality,
         locality_param=args.locality_param,
+        check_invariants=args.check_invariants,
+        watchdog_window=args.watchdog,
+        max_flit_age=args.max_flit_age,
+        faults=faults,
     )
     simulator = Simulator(config)
     # The distributed controller needs the network it instruments.
     simulator.controller = _build_controller(args, simulator.network)
 
-    result = simulator.run(args.cycles)
+    try:
+        result = simulator.run(args.cycles, deadline=args.timeout)
+    except GuardrailError as error:
+        print(f"guardrail abort: {error}", file=sys.stderr)
+        snapshot = getattr(error, "snapshot", None)
+        if snapshot:
+            for key, value in snapshot.items():
+                print(f"  {key}: {value}", file=sys.stderr)
+        return 2
     print(f"workload: {workload.category or 'custom'} "
           f"({', '.join(str(a) for a in workload.app_names[:8])}"
           f"{', ...' if workload.num_nodes > 8 else ''})")
     print(f"network:  {args.network} {args.topology} "
           f"{config.width}x{config.height}, controller={args.controller}")
     print(result.summary())
+    if result.guardrails is not None and result.guardrails.active:
+        print(f"guardrails: {result.guardrails.summary()}")
     print(f"system throughput: {result.system_throughput:.2f} insns/cycle   "
           f"weighted by node: {result.throughput_per_node:.3f} IPC/node")
     print(f"admission starvation: {result.mean_port_starvation:.3f}   "

@@ -19,9 +19,10 @@ L2 address mapping      per-block interleaving (uniform striping);
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Union
+from typing import Optional, Union
 
 from repro.control.base import Controller, NoController
+from repro.guardrails.faults import FaultConfig
 from repro.power.model import PowerCoefficients
 from repro.traffic.workloads import Workload
 
@@ -74,6 +75,16 @@ class SimulationConfig:
     # --- power ----------------------------------------------------------
     power: PowerCoefficients = field(default_factory=PowerCoefficients)
 
+    # --- guardrails (repro.guardrails) -----------------------------------
+    #: verify the no-drop / eject-width / age-order invariants every cycle
+    check_invariants: bool = False
+    #: cycles without ejection progress before the watchdog trips (0 = off)
+    watchdog_window: int = 0
+    #: maximum tolerated in-flight flit age in cycles (0 = off)
+    max_flit_age: int = 0
+    #: link/router fault injection; ``None`` runs a healthy network
+    faults: Optional[FaultConfig] = None
+
     def __post_init__(self):
         n = self.workload.num_nodes
         if self.width == 0:
@@ -96,6 +107,14 @@ class SimulationConfig:
             raise ValueError(f"unknown network {self.network!r}")
         if self.epoch < 1:
             raise ValueError("epoch must be positive")
+        if self.watchdog_window < 0:
+            raise ValueError("watchdog_window must be >= 0 (0 disables it)")
+        if self.max_flit_age < 0:
+            raise ValueError("max_flit_age must be >= 0 (0 disables it)")
+        if self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise ValueError(
+                f"faults must be a FaultConfig or None, got {self.faults!r}"
+            )
 
     @property
     def hop_latency(self) -> int:

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -10,6 +12,7 @@ import numpy as np
 from repro.config import SimulationConfig
 from repro.control.base import Controller, NoController
 from repro.control.central import CentralController, ControlParams
+from repro.guardrails.errors import GuardrailError
 from repro.sim.simulator import Simulator
 from repro.sim.results import SimulationResult
 from repro.traffic.workloads import Workload
@@ -18,6 +21,7 @@ __all__ = [
     "bench_scale",
     "scaled_cycles",
     "run_workload",
+    "run_workload_safe",
     "compare_controllers",
     "alone_ipc",
 ]
@@ -44,9 +48,15 @@ def run_workload(
     controller: Optional[Controller] = None,
     epoch: int = 1000,
     seed: int = 1,
+    deadline: Optional[float] = None,
     **config_kw,
 ) -> SimulationResult:
-    """Run one workload to completion and return its results."""
+    """Run one workload to completion and return its results.
+
+    ``deadline`` is a per-run wall-clock budget in seconds (see
+    :meth:`~repro.sim.Simulator.run`); all other keyword arguments go to
+    :class:`~repro.config.SimulationConfig`.
+    """
     cfg = SimulationConfig(
         workload,
         seed=seed,
@@ -54,7 +64,63 @@ def run_workload(
         controller=controller if controller is not None else NoController(),
         **config_kw,
     )
-    return Simulator(cfg).run(cycles)
+    return Simulator(cfg).run(cycles, deadline=deadline)
+
+
+def run_workload_safe(
+    workload: Workload,
+    cycles: int,
+    controller: Optional[Controller] = None,
+    *,
+    retries: int = 1,
+    backoff: float = 0.2,
+    timeout_s: Optional[float] = None,
+    epoch: int = 1000,
+    seed: int = 1,
+    warn: bool = True,
+    _runner=None,
+    **config_kw,
+) -> Optional[SimulationResult]:
+    """:func:`run_workload` that degrades instead of aborting a sweep.
+
+    A guardrail abort (invariant violation, watchdog trip, wall-clock
+    timeout) is retried up to ``retries`` times with exponential backoff
+    and a fresh seed each attempt (the simulator is deterministic, so
+    retrying the *same* seed would fail identically).  When every
+    attempt fails the function emits a :class:`RuntimeWarning` and
+    returns ``None`` so the caller records a partial sweep result rather
+    than crashing the whole benchmark harness.
+
+    ``_runner`` is an injection point for tests; it must accept the same
+    signature as :func:`run_workload`.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    runner = run_workload if _runner is None else _runner
+    last_error: Optional[GuardrailError] = None
+    for attempt in range(retries + 1):
+        try:
+            return runner(
+                workload,
+                cycles,
+                controller,
+                epoch=epoch,
+                seed=seed + attempt,
+                deadline=timeout_s,
+                **config_kw,
+            )
+        except GuardrailError as error:
+            last_error = error
+            if attempt < retries and backoff > 0:
+                time.sleep(backoff * (2**attempt))
+    if warn:
+        warnings.warn(
+            f"workload {workload.category or 'custom'} abandoned after "
+            f"{retries + 1} attempt(s); last failure: {last_error}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return None
 
 
 def default_mechanism(epoch: int) -> CentralController:

@@ -1,0 +1,30 @@
+"""Simulation guardrails: invariant checking, watchdog, fault injection.
+
+Opt-in runtime enforcement of the network invariants the paper's claims
+rest on, a livelock/deadlock watchdog that fails fast with diagnostics,
+and a seeded link/router fault model that the deflection router degrades
+gracefully around.  See DESIGN.md, "Guardrails & fault injection".
+"""
+
+from repro.guardrails.errors import (
+    GuardrailError,
+    InvariantViolation,
+    LivelockError,
+    SimulationTimeout,
+)
+from repro.guardrails.faults import FaultConfig, FaultModel
+from repro.guardrails.invariants import InvariantChecker
+from repro.guardrails.report import GuardrailReport
+from repro.guardrails.watchdog import ProgressWatchdog
+
+__all__ = [
+    "GuardrailError",
+    "InvariantViolation",
+    "LivelockError",
+    "SimulationTimeout",
+    "FaultConfig",
+    "FaultModel",
+    "InvariantChecker",
+    "GuardrailReport",
+    "ProgressWatchdog",
+]

@@ -1,0 +1,79 @@
+"""Structured failures raised by the simulation guardrails.
+
+All guardrail failures derive from :class:`GuardrailError` so callers
+(the experiment runner, the CLI) can distinguish "this run diverged and
+was stopped deliberately" from an ordinary programming error and degrade
+gracefully — retry with a fresh seed, record a partial sweep result —
+instead of aborting a whole benchmark harness.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GuardrailError",
+    "InvariantViolation",
+    "LivelockError",
+    "SimulationTimeout",
+]
+
+
+class GuardrailError(RuntimeError):
+    """Base class for deliberate guardrail-triggered aborts."""
+
+
+class InvariantViolation(GuardrailError):
+    """A hard network invariant failed at a specific cycle.
+
+    Parameters
+    ----------
+    invariant:
+        Short machine-readable name of the violated invariant
+        (``"conservation"``, ``"eject_width"``, ``"ghost_link"``, ...).
+    cycle:
+        Simulated cycle at which the violation was detected.
+    message:
+        Human-readable description of what went wrong.
+    nodes:
+        Node ids implicated in the violation, when attributable.
+    snapshot:
+        Small cycle-stamped dict of network state captured at detection
+        time, for post-mortem debugging (counter values, offending
+        array slices — never full network state).
+    """
+
+    def __init__(self, invariant, cycle, message, nodes=None, snapshot=None):
+        self.invariant = invariant
+        self.cycle = cycle
+        self.nodes = list(nodes) if nodes is not None else []
+        self.snapshot = dict(snapshot) if snapshot is not None else {}
+        where = f" at node(s) {self.nodes[:8]}" if self.nodes else ""
+        super().__init__(
+            f"invariant {invariant!r} violated at cycle {cycle}{where}: {message}"
+        )
+
+
+class LivelockError(GuardrailError):
+    """The progress watchdog detected livelock/deadlock or an over-age flit.
+
+    Carries the same post-mortem payload as :class:`InvariantViolation`:
+    the trip cycle plus a diagnostics snapshot (in-flight count, oldest
+    flit age, cycles since last ejection).
+    """
+
+    def __init__(self, cycle, message, snapshot=None):
+        self.cycle = cycle
+        self.snapshot = dict(snapshot) if snapshot is not None else {}
+        super().__init__(f"watchdog tripped at cycle {cycle}: {message}")
+
+
+class SimulationTimeout(GuardrailError):
+    """A run exceeded its wall-clock budget (see ``Simulator.run``)."""
+
+    def __init__(self, cycle, elapsed, budget):
+        self.cycle = cycle
+        self.elapsed = elapsed
+        self.budget = budget
+        super().__init__(
+            f"simulation exceeded its {budget:.1f}s wall-clock budget "
+            f"after {elapsed:.1f}s at cycle {cycle}"
+        )

@@ -1,0 +1,300 @@
+"""Link/router fault injection for the NoC models.
+
+Deflection routing is naturally fault-tolerant: a faulty link is just
+one more unavailable output port, and the deflection stage already
+routes around unavailable ports every cycle.  The fault model makes
+that concrete:
+
+- **Permanent link faults** remove an undirected link from the topology
+  for the whole run.  Faults are symmetric (both directions of a link
+  fail together), which preserves the BLESS no-drop guarantee: every
+  router still has exactly as many healthy output links as healthy
+  input links, so the port-allocation stage can always place every
+  arriving flit.
+- **Permanent router faults** (fail-stop) take a router and all of its
+  links out of service.  Traffic destined to a failed router is
+  re-striped to the nearest live node at enqueue time (the shared-L2
+  interleaving remaps around dead slices), so no flit is ever addressed
+  to a node that cannot eject it.
+- **Transient link faults** take a link out of *preferred* allocation
+  for single cycles (seeded, i.i.d. per link per cycle).  A bufferless
+  router cannot hold a flit back, so when a router would otherwise have
+  no output at all, the deflection fallback may still cross a
+  transiently degraded link — losslessness is a hard invariant; the
+  fault degrades routing quality (more deflections), never delivery.
+  The buffered network *can* hold flits, so there a transient fault
+  simply blocks the send and the flit waits in its input buffer.
+
+Permanent fault sets are validated for connectivity over the surviving
+routers; disconnected draws are resampled (each attempt from a fresh
+seed substream) so every generated fault set leaves a usable network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.mesh import NUM_PORTS
+
+__all__ = ["FaultConfig", "FaultModel"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative description of the faults to inject into a run.
+
+    Rates are fractions: ``link_fault_rate`` of the undirected links and
+    ``router_fault_rate`` of the routers fail permanently before the run
+    starts; ``transient_fault_rate`` is the per-link, per-cycle
+    probability of a one-cycle fault.  ``seed`` makes the fault set
+    reproducible; ``max_resample`` bounds the search for a connected
+    permanent-fault set.
+    """
+
+    link_fault_rate: float = 0.0
+    transient_fault_rate: float = 0.0
+    router_fault_rate: float = 0.0
+    seed: int = 0
+    max_resample: int = 64
+
+    def __post_init__(self):
+        for name in ("link_fault_rate", "transient_fault_rate", "router_fault_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {rate!r}")
+        if self.max_resample < 1:
+            raise ValueError("max_resample must be at least 1")
+
+    @property
+    def any_faults(self) -> bool:
+        return (
+            self.link_fault_rate > 0
+            or self.transient_fault_rate > 0
+            or self.router_fault_rate > 0
+        )
+
+
+class FaultModel:
+    """Concrete sampled fault set for one topology.
+
+    Attributes
+    ----------
+    alive_routers:
+        ``(N,)`` bool; False marks fail-stopped routers.
+    link_up:
+        ``(N, 4)`` bool; True where a healthy link exists.  Always a
+        symmetric subset of ``topology.link_exists``.
+    remap:
+        ``(N,)`` int; identity for live nodes, nearest-live-node for
+        failed ones.  Applied to destinations at enqueue time.
+    """
+
+    def __init__(self, topology, config: FaultConfig):
+        self.topology = topology
+        self.config = config
+        self._seed = int(config.seed)
+        n = topology.num_nodes
+        self._canonical = self._canonical_link_ids(topology)
+        rng_root = np.random.default_rng([self._seed, n])
+        for attempt in range(config.max_resample):
+            rng = np.random.default_rng(rng_root.integers(0, 2**63, size=4))
+            dead_routers = self._sample_routers(rng)
+            failed_links = self._sample_links(rng)
+            if self._try_apply(dead_routers, failed_links):
+                return
+        raise ValueError(
+            f"could not sample a connected fault set after "
+            f"{config.max_resample} attempts (link_fault_rate="
+            f"{config.link_fault_rate}, router_fault_rate="
+            f"{config.router_fault_rate}); lower the fault rates"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_failed_links(cls, topology, links, seed=0, transient_fault_rate=0.0):
+        """A fault model with an explicit list of ``(node, port)`` faults.
+
+        Each named directed link fails together with its reverse
+        direction.  Used by tests and benchmarks that need a
+        deterministic fault placement.
+        """
+        fm = cls.__new__(cls)
+        fm.topology = topology
+        fm.config = FaultConfig(
+            transient_fault_rate=transient_fault_rate, seed=seed
+        )
+        fm._seed = int(seed)
+        fm._canonical = cls._canonical_link_ids(topology)
+        failed = np.zeros((topology.num_nodes, NUM_PORTS), dtype=bool)
+        for node, port in links:
+            if not topology.link_exists[node, port]:
+                raise ValueError(f"no link at node {node} port {port}")
+            failed[node, port] = True
+            neighbor = int(topology.neighbor[node, port])
+            failed[neighbor, int(topology.opposite[port])] = True
+        dead = np.zeros(topology.num_nodes, dtype=bool)
+        if not fm._try_apply(dead, failed):
+            raise ValueError("explicit fault set disconnects the network")
+        return fm
+
+    @staticmethod
+    def _canonical_link_ids(topology) -> np.ndarray:
+        """Flat ``(N*4,)`` map from each directed link to its undirected
+        representative (the smaller of the two directed flat indices)."""
+        n, p = topology.num_nodes, NUM_PORTS
+        flat = np.arange(n * p, dtype=np.int64)
+        neighbor = topology.neighbor.astype(np.int64).ravel()
+        partner = np.where(
+            neighbor >= 0,
+            neighbor * p + topology.opposite[np.tile(np.arange(p), n)],
+            flat,
+        )
+        return np.minimum(flat, partner)
+
+    def _sample_routers(self, rng) -> np.ndarray:
+        n = self.topology.num_nodes
+        dead = np.zeros(n, dtype=bool)
+        k = int(round(self.config.router_fault_rate * n))
+        if k:
+            dead[rng.choice(n, size=min(k, n - 1), replace=False)] = True
+        return dead
+
+    def _sample_links(self, rng) -> np.ndarray:
+        exists = self.topology.link_exists
+        failed = np.zeros_like(exists)
+        flat = exists.ravel()
+        undirected = np.flatnonzero(flat & (self._canonical == np.arange(flat.size)))
+        k = int(round(self.config.link_fault_rate * undirected.size))
+        if k:
+            chosen = rng.choice(undirected, size=min(k, undirected.size), replace=False)
+            mask = np.isin(self._canonical, chosen).reshape(failed.shape)
+            failed |= mask & exists
+        return failed
+
+    def _try_apply(self, dead_routers, failed_links) -> bool:
+        """Install the fault set if it leaves live routers connected."""
+        topology = self.topology
+        link_up = topology.link_exists & ~failed_links
+        # A dead router takes all of its links (both directions) down.
+        link_up[dead_routers] = False
+        neighbor = topology.neighbor.astype(np.int64)
+        dead_neighbor = np.zeros_like(link_up)
+        has_link = topology.link_exists
+        dead_neighbor[has_link] = dead_routers[neighbor[has_link]]
+        link_up &= ~dead_neighbor
+        alive = ~dead_routers
+        if not alive.any():
+            return False
+        if not self._connected(alive, link_up, neighbor):
+            return False
+        self.alive_routers = alive
+        self.link_up = link_up
+        self.num_failed_routers = int(dead_routers.sum())
+        self.num_failed_links = int(
+            ((topology.link_exists & ~link_up).sum()) // 2
+        )
+        self.remap = self._build_remap(alive)
+        self._distance = None
+        return True
+
+    @staticmethod
+    def _connected(alive, link_up, neighbor) -> bool:
+        """BFS over healthy links: every live router must be reachable."""
+        start = int(np.flatnonzero(alive)[0])
+        visited = np.zeros(alive.size, dtype=bool)
+        visited[start] = True
+        frontier = np.array([start], dtype=np.int64)
+        while frontier.size:
+            hops = neighbor[frontier]
+            ok = link_up[frontier]
+            nxt = np.unique(hops[ok])
+            nxt = nxt[~visited[nxt]]
+            visited[nxt] = True
+            frontier = nxt
+        return bool(visited[alive].all())
+
+    def _build_remap(self, alive) -> np.ndarray:
+        """Nearest-live-node table for destination re-striping."""
+        n = self.topology.num_nodes
+        remap = np.arange(n, dtype=np.int64)
+        dead_ids = np.flatnonzero(~alive)
+        if dead_ids.size:
+            alive_ids = np.flatnonzero(alive)
+            for d in dead_ids:
+                dist = self.topology.distance(
+                    np.full(alive_ids.size, d, dtype=np.int64), alive_ids
+                )
+                remap[d] = alive_ids[int(np.argmin(dist))]
+        return remap
+
+    # ------------------------------------------------------------------
+    # Fault-aware routing support
+    # ------------------------------------------------------------------
+    @property
+    def healthy_distance(self) -> np.ndarray:
+        """``(N, N)`` hop distances over the surviving links.
+
+        Oldest-First livelock freedom requires that the globally oldest
+        flit can always take a port that brings it strictly closer to
+        its destination.  With permanent faults, plain XY "closer" can
+        be a dead link, so the router consults distances on the *healthy*
+        graph instead.  Entries touching dead routers hold a large
+        sentinel; computed lazily and cached (all-pairs BFS, vectorized
+        over sources)."""
+        if self._distance is None:
+            self._distance = self._all_pairs_distance()
+        return self._distance
+
+    def _all_pairs_distance(self) -> np.ndarray:
+        n = self.topology.num_nodes
+        neighbor = self.topology.neighbor.astype(np.int64)
+        dist = np.full((n, n), np.iinfo(np.int32).max, dtype=np.int32)
+        reached = np.eye(n, dtype=bool)
+        dist[reached] = 0
+        frontier = reached.copy()
+        hops = 0
+        while frontier.any():
+            hops += 1
+            nxt = np.zeros((n, n), dtype=bool)
+            for port in range(NUM_PORTS):
+                ok = self.link_up[:, port]
+                if ok.any():
+                    nxt[:, neighbor[ok, port]] |= frontier[:, ok]
+            frontier = nxt & ~reached
+            dist[frontier] = hops
+            reached |= frontier
+        return dist
+
+    # ------------------------------------------------------------------
+    # Per-cycle queries
+    # ------------------------------------------------------------------
+    def transient_down(self, cycle: int):
+        """Symmetric mask of links transiently faulted this cycle.
+
+        Returns ``None`` when transient faults are disabled.  The draw is
+        a pure function of ``(seed, cycle)`` so runs are reproducible and
+        both directions of a link always fail together.
+        """
+        rate = self.config.transient_fault_rate
+        if rate == 0.0:
+            return None
+        n, p = self.topology.num_nodes, NUM_PORTS
+        rng = np.random.default_rng([self._seed, 0x7A57, int(cycle)])
+        u = rng.random(n * p)
+        down = (u[self._canonical] < rate).reshape(n, p)
+        return down & self.link_up
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.num_failed_links} failed link(s)",
+            f"{self.num_failed_routers} failed router(s)",
+        ]
+        if self.config.transient_fault_rate:
+            parts.append(
+                f"transient rate {self.config.transient_fault_rate:.3f}/link/cycle"
+            )
+        return ", ".join(parts)

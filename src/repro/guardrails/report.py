@@ -1,0 +1,48 @@
+"""Run-level guardrail summary attached to simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GuardrailReport"]
+
+
+@dataclass(frozen=True)
+class GuardrailReport:
+    """What the guardrails did during one run (all checks passed)."""
+
+    invariant_checks: int = 0  # cycles verified by the invariant checker
+    watchdog_window: int = 0  # 0 = watchdog disabled
+    max_flit_age: int = 0  # 0 = age bound disabled
+    failed_links: int = 0  # permanent link faults injected
+    failed_routers: int = 0  # fail-stopped routers
+    remapped_nodes: int = 0  # destinations re-striped around dead routers
+    transient_fault_rate: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.invariant_checks
+            or self.watchdog_window
+            or self.max_flit_age
+            or self.failed_links
+            or self.failed_routers
+            or self.transient_fault_rate
+        )
+
+    def summary(self) -> str:
+        parts = []
+        if self.invariant_checks:
+            parts.append(f"{self.invariant_checks} cycles invariant-checked")
+        if self.watchdog_window:
+            parts.append(f"watchdog window {self.watchdog_window}")
+        if self.max_flit_age:
+            parts.append(f"max flit age {self.max_flit_age}")
+        if self.failed_links or self.failed_routers:
+            parts.append(
+                f"faults: {self.failed_links} link(s), "
+                f"{self.failed_routers} router(s)"
+            )
+        if self.transient_fault_rate:
+            parts.append(f"transient faults {self.transient_fault_rate:.3f}/link/cycle")
+        return "; ".join(parts) if parts else "guardrails off"

@@ -1,0 +1,96 @@
+"""Livelock/deadlock detection with fail-fast diagnostics.
+
+A diverging run (a controller bug, an adversarial fault set, a broken
+arbitration change) previously burned its entire cycle budget before
+anyone noticed that nothing was being delivered.  The watchdog monitors
+two progress signals after every network step:
+
+- **ejection progress**: if flits are in flight but none has ejected
+  for ``window`` consecutive cycles, the network is live- or
+  deadlocked;
+- **age bound**: if any in-flight flit is older than ``max_age``
+  cycles, forward progress for that flit has stalled even though other
+  traffic still moves (per-flit starvation, which aggregate ejection
+  counters hide).
+
+Both trips raise :class:`~repro.guardrails.errors.LivelockError`
+carrying a diagnostics snapshot (in-flight population, oldest flit age,
+cycles since the last ejection) so a failed run is immediately
+attributable instead of silently slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.guardrails.errors import LivelockError
+
+__all__ = ["ProgressWatchdog"]
+
+
+class ProgressWatchdog:
+    """Monitors one network for loss of forward progress.
+
+    Parameters
+    ----------
+    window:
+        Cycles without any ejection (while flits are in flight) before
+        declaring livelock.  Must comfortably exceed the network
+        diameter times the hop latency; 0 disables the check.
+    max_age:
+        Maximum tolerated age (cycles since injection) of any in-flight
+        flit; 0 disables the check.
+    """
+
+    def __init__(self, window: int = 0, max_age: int = 0):
+        if window < 0 or max_age < 0:
+            raise ValueError("watchdog window and max_age must be >= 0")
+        self.window = int(window)
+        self.max_age = int(max_age)
+        self._last_progress_cycle = None
+        self._last_ejected = -1
+
+    # ------------------------------------------------------------------
+    def after_step(self, cycle: int, network) -> None:
+        """Update progress tracking; raises :class:`LivelockError`."""
+        ejected = network.stats.ejected_flits
+        in_flight = network.in_flight_flits()
+        if ejected > self._last_ejected or in_flight == 0:
+            self._last_ejected = ejected
+            self._last_progress_cycle = cycle
+            stalled_for = 0
+        else:
+            stalled_for = cycle - self._last_progress_cycle
+        if self.window and in_flight > 0 and stalled_for >= self.window:
+            raise LivelockError(
+                cycle,
+                f"no ejection for {stalled_for} cycles with {in_flight} "
+                f"flit(s) in flight (window {self.window})",
+                self._diagnostics(cycle, network, in_flight, stalled_for),
+            )
+        if self.max_age and in_flight > 0:
+            _, birth = network.in_flight_view()
+            oldest = int(cycle - birth.min()) if birth.size else 0
+            if oldest > self.max_age:
+                raise LivelockError(
+                    cycle,
+                    f"in-flight flit aged {oldest} cycles exceeds the "
+                    f"{self.max_age}-cycle age bound",
+                    self._diagnostics(cycle, network, in_flight, stalled_for),
+                )
+
+    # ------------------------------------------------------------------
+    def _diagnostics(self, cycle, network, in_flight, stalled_for) -> dict:
+        snapshot = {
+            "in_flight": int(in_flight),
+            "cycles_since_ejection": int(stalled_for),
+            "injected_flits": int(network.stats.injected_flits),
+            "ejected_flits": int(network.stats.ejected_flits),
+            "queued_request_packets": int(network.request_queue.count.sum()),
+            "queued_response_packets": int(network.response_queue.count.sum()),
+        }
+        _, birth = network.in_flight_view()
+        if birth.size:
+            snapshot["oldest_flit_age"] = int(cycle - birth.min())
+            snapshot["median_flit_age"] = int(cycle - np.median(birth))
+        return snapshot

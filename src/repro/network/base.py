@@ -132,6 +132,7 @@ class NocModel:
         topology,
         queue_capacity: int = 64,
         starvation_window: int = 128,
+        fault_model=None,
     ):
         self.topology = topology
         self.num_nodes = topology.num_nodes
@@ -141,9 +142,29 @@ class NocModel:
         self.throttle = InjectionThrottleGate(self.num_nodes)
         self.stats = NetworkStats()
         self.stats.init_arrays(self.num_nodes)
+        # Fault injection (repro.guardrails.faults): healthy-link mask and
+        # destination re-striping around fail-stopped routers.
+        self.fault_model = fault_model
+        if fault_model is not None:
+            if fault_model.topology is not topology:
+                raise ValueError("fault model was built for a different topology")
+            self.link_up = fault_model.link_up
+        else:
+            self.link_up = topology.link_exists
         # Distributed controller support: nodes currently asserting the
         # congestion bit on passing flits (§6.6); unused otherwise.
         self.congested_nodes = np.zeros(self.num_nodes, dtype=bool)
+
+    def _sanitize_dest(self, dest: np.ndarray) -> np.ndarray:
+        """Re-stripe destinations that target fail-stopped routers.
+
+        The shared L2 is interleaved across nodes; when a router
+        fail-stops, its slice's traffic moves to the nearest live node so
+        no packet is ever addressed to a router that cannot eject it.
+        """
+        if self.fault_model is None:
+            return dest
+        return self.fault_model.remap[np.asarray(dest, dtype=np.int64)]
 
     # ------------------------------------------------------------------
     # Producer-side API (used by the core/memory models)
@@ -153,7 +174,8 @@ class NocModel:
     ) -> np.ndarray:
         """Queue L1-miss request packets; returns acceptance mask."""
         return self.request_queue.push(
-            nodes, dest, FLIT_REQUEST, flits, stamp=cycle, seq=seq
+            nodes, self._sanitize_dest(dest), FLIT_REQUEST, flits,
+            stamp=cycle, seq=seq,
         )
 
     def enqueue_replies(
@@ -161,7 +183,8 @@ class NocModel:
     ) -> np.ndarray:
         """Queue data-reply packets at the serving node (never throttled)."""
         return self.response_queue.push(
-            nodes, dest, FLIT_REPLY, flits, stamp=cycle, seq=seq
+            nodes, self._sanitize_dest(dest), FLIT_REPLY, flits,
+            stamp=cycle, seq=seq,
         )
 
     def request_backpressure(self) -> np.ndarray:
@@ -180,6 +203,14 @@ class NocModel:
 
     def in_flight_flits(self) -> int:
         """Flits currently inside the network (for conservation checks)."""
+        raise NotImplementedError
+
+    def in_flight_view(self):
+        """``(meta, birth)`` flat arrays of every in-flight flit.
+
+        Used by the guardrails (invariant checker, watchdog) for age and
+        identity checks; must visit links plus any in-network buffering.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------

@@ -75,8 +75,9 @@ class BlessNetwork(NocModel):
         starvation_window: int = 128,
         arbitration: str = "oldest_first",
         rng: np.random.Generator = None,
+        fault_model=None,
     ):
-        super().__init__(topology, queue_capacity, starvation_window)
+        super().__init__(topology, queue_capacity, starvation_window, fault_model)
         if arbitration not in ARBITRATION_POLICIES:
             raise ValueError(f"unknown arbitration policy: {arbitration!r}")
         if eject_width < 1 or eject_width > NUM_PORTS:
@@ -103,9 +104,22 @@ class BlessNetwork(NocModel):
         )
         self._node_ids = np.arange(n, dtype=np.int64)
         self._node_col = self._node_ids[:, None]
+        # With permanent faults, XY-productive can point at a dead link
+        # and the oldest flit would deflect forever (livelock).  Route by
+        # healthy-graph distance instead: a port is productive iff it
+        # strictly decreases the surviving-topology distance to dest.
+        self._dist = None
+        self._neighbor_safe = None
+        if fault_model is not None and (
+            fault_model.num_failed_links or fault_model.num_failed_routers
+        ):
+            self._dist = fault_model.healthy_distance
+            self._neighbor_safe = np.where(topology.link_exists, neighbor, 0)
         # Scratch output arrays, reused every cycle.
         self._out_meta = np.zeros((n, p), dtype=np.int64)
         self._out_birth = np.full((n, p), -1, dtype=np.int64)
+        self._avail = np.zeros((n, p), dtype=bool)
+        self._spare = np.zeros((n, p), dtype=bool)
         # Injection-queueing latency statistics (time from enqueue at the
         # NI to entering the network), the paper's "injection latency".
         self.injection_latency_sum = 0
@@ -114,6 +128,10 @@ class BlessNetwork(NocModel):
     # ------------------------------------------------------------------
     def in_flight_flits(self) -> int:
         return int((self._ring_birth >= 0).sum())
+
+    def in_flight_view(self):
+        mask = self._ring_birth >= 0
+        return self._ring_meta[mask], self._ring_birth[mask]
 
     def _arbitration_key(self, birth: np.ndarray, meta: np.ndarray) -> np.ndarray:
         """Per-flit arbitration key; the smallest key wins a conflict."""
@@ -165,15 +183,37 @@ class BlessNetwork(NocModel):
             self.stats.ejected_flits += sum(r.size for r, _ in ej_parts)
 
         # --- Output-port allocation, Oldest-First rank by rank ----------
-        # Productive XY ports for every arrival, computed once.
-        dx, dy = self.topology.deltas(self._node_col, dest)
-        x_port = np.where(dx > 0, 1, 3)  # EAST / WEST
-        y_port = np.where(dy > 0, 2, 0)  # SOUTH / NORTH
-        p0 = np.where(dx != 0, x_port, np.where(dy != 0, y_port, -1))
-        p1 = np.where((dx != 0) & (dy != 0), y_port, -1)
+        # Productive ports for every arrival, computed once.
+        if self._dist is None:
+            # Fault-free: productive XY ports.
+            dx, dy = self.topology.deltas(self._node_col, dest)
+            x_port = np.where(dx > 0, 1, 3)  # EAST / WEST
+            y_port = np.where(dy > 0, 2, 0)  # SOUTH / NORTH
+            p0 = np.where(dx != 0, x_port, np.where(dy != 0, y_port, -1))
+            p1 = np.where((dx != 0) & (dy != 0), y_port, -1)
+            productive = None
+        else:
+            # Permanent faults: a port is productive iff its neighbor is
+            # strictly closer to dest on the healthy graph.
+            p0 = p1 = None
+            d_here = self._dist[self._node_col, dest]
+            d_next = self._dist[self._neighbor_safe[:, None, :], dest[:, :, None]]
+            productive = self.link_up[:, None, :] & (d_next < d_here[:, :, None])
 
-        link_exists = self.topology.link_exists
-        out_taken = ~link_exists  # fresh array; non-links never granted
+        # ``avail`` marks healthy free output links (True = grantable);
+        # ``spare`` marks transiently faulted links kept as a last-resort
+        # fallback — a bufferless router cannot hold a flit back, so when
+        # every healthy port is taken the flit crosses a degraded link
+        # rather than being dropped (losslessness is a hard invariant).
+        avail = self._avail
+        np.copyto(avail, self.link_up)
+        spare = None
+        if self.fault_model is not None:
+            t_down = self.fault_model.transient_down(cycle)
+            if t_down is not None:
+                spare = self._spare
+                np.copyto(spare, avail & t_down)
+                avail &= ~t_down
         out_meta, out_birth = self._out_meta, self._out_birth
         out_birth[:] = -1
         order = np.argsort(key, axis=1)
@@ -184,27 +224,46 @@ class BlessNetwork(NocModel):
             if rows.size == 0:
                 break  # ranks are sorted: later ranks are empty too
             c = cols[rows]
-            pp0 = p0[rows, c]
-            pp1 = p1[rows, c]
-            free = ~out_taken[rows]
-            k_idx = np.arange(rows.size)
-            ok0 = (pp0 >= 0) & free[k_idx, np.where(pp0 >= 0, pp0, 0)]
-            choice = np.where(ok0, pp0, -1)
-            ok1 = (choice < 0) & (pp1 >= 0) & free[k_idx, np.where(pp1 >= 0, pp1, 0)]
-            choice = np.where(ok1, pp1, choice)
+            free = avail[rows]
+            if productive is None:
+                pp0 = p0[rows, c]
+                pp1 = p1[rows, c]
+                k_idx = np.arange(rows.size)
+                ok0 = (pp0 >= 0) & free[k_idx, np.where(pp0 >= 0, pp0, 0)]
+                choice = np.where(ok0, pp0, -1)
+                ok1 = (
+                    (choice < 0) & (pp1 >= 0)
+                    & free[k_idx, np.where(pp1 >= 0, pp1, 0)]
+                )
+                choice = np.where(ok1, pp1, choice)
+            else:
+                good = free & productive[rows, c]
+                choice = np.where(good.any(axis=1), np.argmax(good, axis=1), -1)
             missing = choice < 0
             if missing.any():
                 # Deflect to the first free link; one always exists
-                # because a router has >= as many links as routed flits.
-                choice = np.where(missing, np.argmax(free, axis=1), choice)
+                # because a router has >= as many healthy links as routed
+                # flits (faults fail both directions of a link together).
+                fallback = np.argmax(free, axis=1)
+                if spare is not None:
+                    no_healthy = ~free.any(axis=1)
+                    if no_healthy.any():
+                        fallback = np.where(
+                            no_healthy, np.argmax(spare[rows], axis=1), fallback
+                        )
+                choice = np.where(missing, fallback, choice)
                 deflections += int(missing.sum())
-            out_taken[rows, choice] = True
+            avail[rows, choice] = False
+            if spare is not None:
+                spare[rows, choice] = False
             out_meta[rows, choice] = meta[rows, c] + HOP_ONE
             out_birth[rows, choice] = birth[rows, c]
         self.stats.deflections += deflections
 
         # --- Injection: responses first, then throttled requests --------
-        has_free = ~out_taken.all(axis=1)
+        # New flits only ever enter on healthy free links (``avail``);
+        # injection is optional, so degraded links are never used here.
+        has_free = avail.any(axis=1)
         resp_has = self.response_queue.nonempty
         req_has = self.request_queue.nonempty
         wanted = resp_has | req_has
@@ -212,9 +271,9 @@ class BlessNetwork(NocModel):
         trying_req = req_has & has_free & ~inject_resp
         inject_req = trying_req & self.throttle.decide(trying_req)
         self._inject(np.flatnonzero(inject_resp), self.response_queue, cycle,
-                     out_taken, out_meta, out_birth)
+                     avail, out_meta, out_birth)
         self._inject(np.flatnonzero(inject_req), self.request_queue, cycle,
-                     out_taken, out_meta, out_birth)
+                     avail, out_meta, out_birth)
         self._record_starvation(wanted, inject_resp | inject_req, has_free)
 
         # --- Distributed-control congestion bit (§6.6) -------------------
@@ -240,7 +299,7 @@ class BlessNetwork(NocModel):
         return ejected
 
     # ------------------------------------------------------------------
-    def _inject(self, nodes, queue, cycle, out_taken, out_meta, out_birth) -> None:
+    def _inject(self, nodes, queue, cycle, avail, out_meta, out_birth) -> None:
         """Place one queued flit per node in *nodes* onto a free link."""
         if nodes.size == 0:
             return
@@ -249,15 +308,24 @@ class BlessNetwork(NocModel):
         # first, the other productive direction second, then any free
         # link (they are the youngest flits, so they lost arbitration to
         # every in-flight flit already).
-        free = ~out_taken[nodes]
-        p0, p1 = self.topology.productive_ports(nodes, dest)
-        k_idx = np.arange(nodes.size)
-        ok0 = (p0 >= 0) & free[k_idx, np.where(p0 >= 0, p0, 0)]
-        port = np.where(ok0, p0, -1)
-        ok1 = (port < 0) & (p1 >= 0) & free[k_idx, np.where(p1 >= 0, p1, 0)]
-        port = np.where(ok1, p1, port)
-        port = np.where(port < 0, np.argmax(free, axis=1), port)
-        out_taken[nodes, port] = True
+        free = avail[nodes]
+        if self._dist is None:
+            p0, p1 = self.topology.productive_ports(nodes, dest)
+            k_idx = np.arange(nodes.size)
+            ok0 = (p0 >= 0) & free[k_idx, np.where(p0 >= 0, p0, 0)]
+            port = np.where(ok0, p0, -1)
+            ok1 = (port < 0) & (p1 >= 0) & free[k_idx, np.where(p1 >= 0, p1, 0)]
+            port = np.where(ok1, p1, port)
+            port = np.where(port < 0, np.argmax(free, axis=1), port)
+        else:
+            d_here = self._dist[nodes, dest]
+            d_next = self._dist[self._neighbor_safe[nodes], dest[:, None]]
+            good = free & (d_next < d_here[:, None])
+            port = np.where(
+                good.any(axis=1), np.argmax(good, axis=1),
+                np.argmax(free, axis=1),
+            )
+        avail[nodes, port] = False
         # The first traversal completes upon arrival at the neighbor.
         out_meta[nodes, port] = pack_meta(dest, nodes, kind, seq) + HOP_ONE
         out_birth[nodes, port] = cycle

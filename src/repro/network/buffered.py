@@ -94,8 +94,9 @@ class BufferedNetwork(NocModel):
         buffer_capacity: int = 16,
         queue_capacity: int = 64,
         starvation_window: int = 128,
+        fault_model=None,
     ):
-        super().__init__(topology, queue_capacity, starvation_window)
+        super().__init__(topology, queue_capacity, starvation_window, fault_model)
         if buffer_capacity < 1:
             raise ValueError("buffer capacity must be positive")
         if hop_latency < 1:
@@ -115,6 +116,20 @@ class BufferedNetwork(NocModel):
     # ------------------------------------------------------------------
     def in_flight_flits(self) -> int:
         return int((self._ring_birth >= 0).sum()) + self.buffers.occupancy()
+
+    def in_flight_view(self):
+        ring_mask = self._ring_birth >= 0
+        buffers = self.buffers
+        # Occupied ring-buffer slots per (node, input port).
+        offsets = np.arange(buffers.capacity)
+        occupied = (
+            (offsets[None, None, :] - buffers.head[:, :, None]) % buffers.capacity
+            < buffers.count[:, :, None]
+        )
+        return (
+            np.concatenate([self._ring_meta[ring_mask], buffers.meta[occupied]]),
+            np.concatenate([self._ring_birth[ring_mask], buffers.birth[occupied]]),
+        )
 
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> EjectedFlits:
@@ -151,6 +166,12 @@ class BufferedNetwork(NocModel):
         send_slot = (self._cursor + self.hop_latency - 1) % self.hop_latency
         ejected = EjectedFlits.empty()
         mark = self.congested_nodes.any()
+        # Faulted links cannot be granted; the flit stays buffered (XY
+        # routing has no alternative path, unlike deflection routing).
+        link_ok = self.link_up
+        t_down = None
+        if self.fault_model is not None:
+            t_down = self.fault_model.transient_down(cycle)
         for out_port in range(NUM_PORTS + 1):
             key = np.where(h_out == out_port, h_key, _KEY_MAX)
             col = np.argmin(key, axis=1)
@@ -174,7 +195,8 @@ class BufferedNetwork(NocModel):
                 )
                 continue
             # Credit check: downstream input buffer must have space for
-            # everything already there plus flits still on the wire.
+            # everything already there plus flits still on the wire; the
+            # link itself must also be healthy this cycle.
             down = neighbor[rows, out_port].astype(np.int64)
             down_port = int(opposite[out_port])
             space = (
@@ -182,6 +204,9 @@ class BufferedNetwork(NocModel):
                 + self.reserved[down, down_port]
                 < self.buffer_capacity
             )
+            space &= link_ok[rows, out_port]
+            if t_down is not None:
+                space &= ~t_down[rows, out_port]
             rows, in_ports, down = rows[space], in_ports[space], down[space]
             if rows.size == 0:
                 continue

@@ -60,11 +60,14 @@ class FlitQueueArray:
 
     def queued_flits_total(self) -> int:
         """Total flits waiting across all nodes (for conservation checks)."""
-        total = 0
-        for node in np.flatnonzero(self.count):
-            idx = (self.head[node] + np.arange(self.count[node])) % self.capacity
-            total += int(self.flits[node, idx].sum())
-        return total
+        # A slot is occupied when it lies within [head, head + count) on
+        # the ring; summing the masked flits counts stays loop-free.
+        offsets = np.arange(self.capacity, dtype=np.int32)
+        occupied = (
+            (offsets[None, :] - self.head[:, None]) % self.capacity
+            < self.count[:, None]
+        )
+        return int(self.flits[occupied].sum())
 
     # ------------------------------------------------------------------
     # Mutation

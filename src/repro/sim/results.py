@@ -34,6 +34,13 @@ class SimulationResult:
     power: PowerReport
     epochs: EpochSeries
     latency_percentile: object = None  # callable p -> cycles
+    in_flight_flits: int = 0  # still in the network at run end
+    guardrails: object = None  # GuardrailReport (None for hand-built results)
+
+    @property
+    def flit_conservation_ok(self) -> bool:
+        """No-drop accounting: every injected flit ejected or in flight."""
+        return self.injected_flits == self.ejected_flits + self.in_flight_flits
 
     @property
     def system_throughput(self) -> float:

@@ -21,12 +21,19 @@ Per-cycle order of operations:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.config import SimulationConfig
 from repro.control.base import EpochView
 from repro.cpu.core import CoreArray
 from repro.cpu.memory import MemorySystem
+from repro.guardrails.faults import FaultModel
+from repro.guardrails.invariants import InvariantChecker
+from repro.guardrails.report import GuardrailReport
+from repro.guardrails.watchdog import ProgressWatchdog
+from repro.guardrails.errors import SimulationTimeout
 from repro.metrics.collectors import EpochSeries
 from repro.network.bless import BlessNetwork
 from repro.network.buffered import BufferedNetwork
@@ -81,6 +88,11 @@ class Simulator:
             phase_length=config.phase_length,
             seed_rng=child_rng(config.seed, "phase-init"),
         )
+        self.fault_model = (
+            FaultModel(self.topology, config.faults)
+            if config.faults is not None and config.faults.any_faults
+            else None
+        )
         if config.network == "bless":
             self.network = BlessNetwork(
                 self.topology,
@@ -89,6 +101,7 @@ class Simulator:
                 queue_capacity=config.queue_capacity,
                 arbitration=config.arbitration,
                 rng=self._rng_arb,
+                fault_model=self.fault_model,
             )
         else:
             self.network = BufferedNetwork(
@@ -96,7 +109,16 @@ class Simulator:
                 hop_latency=config.hop_latency,
                 buffer_capacity=config.buffer_capacity,
                 queue_capacity=config.queue_capacity,
+                fault_model=self.fault_model,
             )
+        self.checker = (
+            InvariantChecker(self.network) if config.check_invariants else None
+        )
+        self.watchdog = (
+            ProgressWatchdog(config.watchdog_window, config.max_flit_age)
+            if config.watchdog_window or config.max_flit_age
+            else None
+        )
         self.cores = CoreArray(
             self.behavior,
             self.locality,
@@ -121,22 +143,54 @@ class Simulator:
         # The central coordinator's location (for control traffic): the
         # mesh center, where average distance to all nodes is minimal.
         self.hub = self.topology.node_at(config.width // 2, config.height // 2)
+        if self.fault_model is not None:
+            # A fail-stopped hub moves to the nearest live router.
+            self.hub = int(self.fault_model.remap[self.hub])
         self.control_flits_sent = 0
 
     # ------------------------------------------------------------------
-    def run(self, cycles: int) -> SimulationResult:
-        """Advance *cycles* cycles and return the run's results."""
+    def run(self, cycles: int, deadline: float = None) -> SimulationResult:
+        """Advance *cycles* cycles and return the run's results.
+
+        ``deadline`` is an optional wall-clock budget in seconds; a run
+        that exceeds it raises
+        :class:`~repro.guardrails.errors.SimulationTimeout` (checked
+        every 256 cycles) so a diverging run cannot stall a whole sweep.
+        """
+        if isinstance(cycles, bool) or not isinstance(cycles, (int, np.integer)):
+            raise ValueError(
+                f"cycles must be an integer >= 1, got {cycles!r} "
+                f"({type(cycles).__name__})"
+            )
         if cycles < 1:
-            raise ValueError("must simulate at least one cycle")
+            raise ValueError(
+                f"must simulate at least one cycle (got cycles={cycles})"
+            )
         epoch = self.config.epoch
+        if isinstance(epoch, bool) or not isinstance(epoch, (int, np.integer)):
+            raise ValueError(
+                f"epoch must be an integer >= 1, got {epoch!r} "
+                f"({type(epoch).__name__})"
+            )
+        if epoch < 1:
+            raise ValueError(f"epoch must be >= 1 (got epoch={epoch})")
+        start_time = time.monotonic() if deadline is not None else 0.0
         end = self.cycle + cycles
         observe = self.controller.observes_ejections
         while self.cycle < end:
             c = self.cycle
+            if deadline is not None and c % 256 == 0:
+                elapsed = time.monotonic() - start_time
+                if elapsed > deadline:
+                    raise SimulationTimeout(c, elapsed, deadline)
             self.behavior.tick(self._rng_phase)
             self.cores.step(c)
             self.memory.step(c)
             ejected = self.network.step(c)
+            if self.checker is not None:
+                self.checker.after_step(c, ejected)
+            if self.watchdog is not None:
+                self.watchdog.after_step(c, self.network)
             if ejected.node.size:
                 kind = ejected.kind
                 req = kind == FLIT_REQUEST
@@ -241,6 +295,25 @@ class Simulator:
         power = PowerModel(self.config.power).report(
             stats, self.topology.num_nodes, buffered=self.config.network == "buffered"
         )
+        guardrails = GuardrailReport(
+            invariant_checks=self.checker.checks_run if self.checker else 0,
+            watchdog_window=self.config.watchdog_window,
+            max_flit_age=self.config.max_flit_age,
+            failed_links=self.fault_model.num_failed_links if self.fault_model else 0,
+            failed_routers=(
+                self.fault_model.num_failed_routers if self.fault_model else 0
+            ),
+            remapped_nodes=(
+                int((~self.fault_model.alive_routers).sum())
+                if self.fault_model
+                else 0
+            ),
+            transient_fault_rate=(
+                self.fault_model.config.transient_fault_rate
+                if self.fault_model
+                else 0.0
+            ),
+        )
         return SimulationResult(
             cycles=self.cycle,
             num_nodes=self.topology.num_nodes,
@@ -260,4 +333,6 @@ class Simulator:
             power=power,
             epochs=self.epochs,
             latency_percentile=stats.latency_percentile,
+            in_flight_flits=self.network.in_flight_flits(),
+            guardrails=guardrails,
         )

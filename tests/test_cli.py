@@ -57,3 +57,36 @@ class TestMain:
                    "--network", "buffered", "--topology", "torus",
                    "--locality", "exponential"])
         assert rc == 0
+
+
+class TestGuardrailFlags:
+    def test_checked_run_reports_guardrails(self, capsys):
+        rc = main(["--cycles", "1200", "--epoch", "400",
+                   "--check-invariants", "--watchdog", "5000"])
+        assert rc == 0
+        assert "guardrails:" in capsys.readouterr().out
+
+    def test_unchecked_run_prints_no_guardrail_line(self, capsys):
+        rc = main(["--cycles", "1200", "--epoch", "400"])
+        assert rc == 0
+        assert "guardrails:" not in capsys.readouterr().out
+
+    def test_fault_injection_run(self, capsys):
+        rc = main(["--cycles", "1500", "--epoch", "500",
+                   "--check-invariants", "--link-faults", "0.05",
+                   "--router-faults", "0.06", "--fault-seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "link(s)" in out
+        assert "router(s)" in out
+
+    def test_guardrail_abort_exits_2(self, capsys):
+        # A zero wall-clock budget trips the timeout guardrail.
+        rc = main(["--cycles", "1000000", "--timeout", "0.0"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "guardrail abort" in err
+
+    def test_bad_fault_rate_rejected(self):
+        with pytest.raises(ValueError):
+            main(["--cycles", "1000", "--link-faults", "1.5"])

@@ -95,9 +95,11 @@ def test_queue_matches_reference_fifo(ops):
     for is_push, node, flits in ops:
         if is_push:
             ok = q.push(np.array([node]), np.array([node + 10]), 0, flits)
+            # Acceptance must track capacity exactly: an entry is taken
+            # iff the reference deque has room, and never beyond it.
+            assert bool(ok[0]) == (len(reference[node]) < 5)
             if ok[0]:
                 reference[node].append([node + 10, flits])
-            assert ok[0] == (len(reference[node]) <= 5 if ok[0] else True)
         elif reference[node]:
             dest, _, _, _, done = q.take_flit(np.array([node]))
             head = reference[node][0]
