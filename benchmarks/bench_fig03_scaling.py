@@ -5,36 +5,42 @@ baseline bufferless network increasingly inefficient with size: average
 latency grows, starvation approaches 0.4, and per-node throughput
 drops.  With naive uniform striping the degradation is far worse
 (the paper reports -73% per-node throughput from 4x4 to 64x64).
+
+All simulations run through :mod:`repro.harness` (``REPRO_JOBS``
+parallelizes them; with ``REPRO_CACHE_DIR`` set, results may come from
+the on-disk cache instead of fresh runs).
 """
 
 import functools
 
-from conftest import once
+from conftest import once, scaled
 from repro.experiments import (
     format_table,
     paper_vs_measured,
-    run_workload,
-    scaled_cycles,
     scaling_sweep,
 )
+from repro.harness import JobSpec, run_jobs
 from repro.rng import child_rng
 from repro.traffic.workloads import make_workload_batch
 
 SIZES = (16, 64, 256, 1024, 4096)
 
+_BASE_CYCLES = {16: 8000, 64: 8000, 256: 6000, 1024: 4000, 4096: 3000}
 
-def _cycles_for(size):
-    return scaled_cycles({16: 8000, 64: 8000, 256: 6000,
-                          1024: 4000, 4096: 3000}[size])
+
+def _cycles_for(size, scale=1.0):
+    return scaled(_BASE_CYCLES[size], scale)
 
 
 @functools.lru_cache(maxsize=1)
-def _bless_scaling():
-    return scaling_sweep(SIZES, _cycles_for, networks=("bless",))["bless"]
+def _bless_scaling(scale):
+    return scaling_sweep(
+        SIZES, lambda n: _cycles_for(n, scale), networks=("bless",)
+    )["bless"]
 
 
-def test_fig3a_latency_grows_with_size(benchmark, report):
-    results = once(benchmark, _bless_scaling)
+def test_fig3a_latency_grows_with_size(benchmark, report, scale):
+    results = once(benchmark, lambda: _bless_scaling(scale))
     rows = [(n, r.avg_net_latency) for n, r in results]
     growth = rows[-1][1] / rows[0][1]
     report(
@@ -53,8 +59,8 @@ def test_fig3a_latency_grows_with_size(benchmark, report):
     assert growth > 2.0
 
 
-def test_fig3b_starvation_grows_with_size(benchmark, report):
-    results = once(benchmark, _bless_scaling)
+def test_fig3b_starvation_grows_with_size(benchmark, report, scale):
+    results = once(benchmark, lambda: _bless_scaling(scale))
     rows = [(n, r.mean_starvation) for n, r in results]
     report(
         "fig3b",
@@ -73,8 +79,8 @@ def test_fig3b_starvation_grows_with_size(benchmark, report):
     assert rows[-1][1] > 1.5 * rows[0][1]
 
 
-def test_fig3c_per_node_throughput_drops(benchmark, report):
-    results = once(benchmark, _bless_scaling)
+def test_fig3c_per_node_throughput_drops(benchmark, report, scale):
+    results = once(benchmark, lambda: _bless_scaling(scale))
     rows = [(n, r.throughput_per_node) for n, r in results]
     drop = 1 - rows[-1][1] / rows[0][1]
     report(
@@ -91,20 +97,25 @@ def test_fig3c_per_node_throughput_drops(benchmark, report):
     assert drop > 0.2
 
 
-def test_uniform_striping_collapse(benchmark, report):
+def test_uniform_striping_collapse(benchmark, report, scale):
     """§3.2: with uniform data striping, per-node throughput collapses
-    from 4x4 to 64x64 (paper: -73%)."""
+    from 4x4 to 64x64 (paper: -73%).  Both points go to the harness as
+    one batch instead of a hand-rolled serial loop."""
 
     def run():
-        out = []
-        for size in (16, 4096):
+        striping_sizes = (16, 4096)
+        specs = []
+        for size in striping_sizes:
             rng = child_rng(9, f"striping-{size}")
             wl = make_workload_batch(1, size, rng, categories=["H"])[0]
-            out.append(
-                (size, run_workload(wl, _cycles_for(size), epoch=1200,
-                                    seed=2, locality="uniform"))
+            specs.append(
+                JobSpec.for_workload(
+                    wl, _cycles_for(size, scale),
+                    epoch=1200, seed=2, locality="uniform",
+                )
             )
-        return out
+        harness = run_jobs(specs, description="striping")
+        return list(zip(striping_sizes, harness.results))
 
     results = once(benchmark, run)
     small = results[0][1].throughput_per_node

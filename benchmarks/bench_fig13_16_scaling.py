@@ -15,25 +15,28 @@ Fig 16: NoC power — throttling cuts bufferless power by up to ~15-20%.
 
 import functools
 
-from conftest import once
+from conftest import once, scaled
 from repro.experiments import (
     format_table,
     paper_vs_measured,
-    scaled_cycles,
     scaling_sweep,
 )
 
 SIZES = (16, 64, 256, 1024, 4096)
 
+_BASE_CYCLES = {16: 8000, 64: 8000, 256: 6000, 1024: 4000, 4096: 3000}
 
-def _cycles_for(size):
-    return scaled_cycles({16: 8000, 64: 8000, 256: 6000,
-                          1024: 4000, 4096: 3000}[size])
+
+def _cycles_for(size, scale=1.0):
+    return scaled(_BASE_CYCLES[size], scale)
 
 
 @functools.lru_cache(maxsize=1)
-def _sweep():
-    return scaling_sweep(SIZES, _cycles_for)
+def _sweep(scale):
+    # The full (5 sizes x 3 networks) grid ships to repro.harness in one
+    # batch; REPRO_JOBS parallelizes it, REPRO_CACHE_DIR makes reruns
+    # incremental.
+    return scaling_sweep(SIZES, lambda n: _cycles_for(n, scale))
 
 
 def _series(data, metric):
@@ -43,8 +46,8 @@ def _series(data, metric):
     }
 
 
-def test_fig13_throughput_scaling(benchmark, report):
-    data = once(benchmark, _sweep)
+def test_fig13_throughput_scaling(benchmark, report, scale):
+    data = once(benchmark, lambda: _sweep(scale))
     s = _series(data, "throughput_per_node")
     bless_drop = 1 - s["bless"][-1][1] / s["bless"][0][1]
     throt_drop = 1 - s["bless-throttling"][-1][1] / s["bless-throttling"][0][1]
@@ -74,8 +77,8 @@ def test_fig13_throughput_scaling(benchmark, report):
     assert all(c[3] for c in claims)
 
 
-def test_fig14_latency_scaling(benchmark, report):
-    data = once(benchmark, _sweep)
+def test_fig14_latency_scaling(benchmark, report, scale):
+    data = once(benchmark, lambda: _sweep(scale))
     s = _series(data, "avg_net_latency")
     rows = [
         (n, s["bless"][i][1], s["bless-throttling"][i][1], s["buffered"][i][1])
@@ -100,8 +103,8 @@ def test_fig14_latency_scaling(benchmark, report):
     assert all(c[3] for c in claims)
 
 
-def test_fig15_utilization_scaling(benchmark, report):
-    data = once(benchmark, _sweep)
+def test_fig15_utilization_scaling(benchmark, report, scale):
+    data = once(benchmark, lambda: _sweep(scale))
     s = _series(data, "network_utilization")
     rows = [
         (n, s["bless"][i][1], s["bless-throttling"][i][1], s["buffered"][i][1])
@@ -125,8 +128,8 @@ def test_fig15_utilization_scaling(benchmark, report):
     assert all(c[3] for c in claims)
 
 
-def test_fig16_power_reduction(benchmark, report):
-    data = once(benchmark, _sweep)
+def test_fig16_power_reduction(benchmark, report, scale):
+    data = once(benchmark, lambda: _sweep(scale))
     rows = []
     vs_bless_all, vs_buf_all = [], []
     for i, n in enumerate(SIZES):

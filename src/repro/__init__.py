@@ -44,6 +44,13 @@ from repro.guardrails import (
     ProgressWatchdog,
     SimulationTimeout,
 )
+from repro.harness import (
+    HarnessReport,
+    JobSpec,
+    ResultCache,
+    run_job,
+    run_jobs,
+)
 from repro.metrics import max_slowdown, system_throughput, weighted_speedup
 from repro.network import BlessNetwork, BufferedNetwork
 from repro.power import PowerCoefficients, PowerModel, PowerReport
@@ -75,6 +82,11 @@ __all__ = [
     "SimulationConfig",
     "Simulator",
     "SimulationResult",
+    "JobSpec",
+    "run_job",
+    "run_jobs",
+    "ResultCache",
+    "HarnessReport",
     "Mesh2D",
     "Torus2D",
     "BlessNetwork",

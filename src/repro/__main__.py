@@ -6,6 +6,13 @@ Examples::
     python -m repro --category HM --nodes 64 --controller central
     python -m repro --app mcf --nodes 256 --network buffered \
         --locality exponential --locality-param 1.0
+
+The ``sweep`` subcommand runs a multi-point scaling sweep through
+:mod:`repro.harness` — parallel workers and a content-addressed result
+cache, so re-running only executes changed points::
+
+    python -m repro sweep --sizes 16,64,256 --jobs 4 \
+        --cache-dir ~/.cache/repro-sweeps
 """
 
 from __future__ import annotations
@@ -101,6 +108,110 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Scaling sweep through repro.harness: every "
+        "(size x network) point as one cached, parallelizable job.",
+    )
+    parser.add_argument(
+        "--sizes", default="16,64",
+        help="comma-separated node counts (square meshes; default 16,64)",
+    )
+    parser.add_argument(
+        "--networks", default="bless,bless-throttling,buffered",
+        help="comma-separated variants from "
+        "{bless, bless-throttling, buffered}",
+    )
+    parser.add_argument("--cycles", type=int, default=8_000,
+                        help="cycle budget per point (default 8000)")
+    parser.add_argument("--category", default="H",
+                        help="workload category (default H)")
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--epoch", type=int, default=1_200)
+    parser.add_argument("--topology", choices=("mesh", "torus"),
+                        default="mesh")
+    parser.add_argument("--locality", choices=("uniform", "exponential",
+                                               "powerlaw"),
+                        default="exponential")
+    parser.add_argument("--locality-param", type=float, default=1.0)
+    harness = parser.add_argument_group("harness")
+    harness.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
+    )
+    harness.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache; reruns skip cached points",
+    )
+    harness.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live progress line on stderr",
+    )
+    return parser
+
+
+def sweep_main(argv=None) -> int:
+    from repro.experiments.sweeps import scaling_sweep
+    from repro.harness import ResultCache, default_jobs, resolve_jobs
+
+    args = build_sweep_parser().parse_args(argv)
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+    except ValueError:
+        print(f"invalid --sizes {args.sizes!r}", file=sys.stderr)
+        return 2
+    networks = tuple(n for n in args.networks.split(",") if n)
+    known = {"bless", "bless-throttling", "buffered"}
+    if not sizes or not networks or set(networks) - known:
+        print(f"invalid --sizes/--networks ({args.sizes!r}, "
+              f"{args.networks!r})", file=sys.stderr)
+        return 2
+    jobs = default_jobs() if args.jobs is None else resolve_jobs(args.jobs)
+    import os
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    cache = ResultCache(cache_dir) if cache_dir else None
+
+    import time
+    start = time.perf_counter()
+    data = scaling_sweep(
+        sizes,
+        lambda n: args.cycles,
+        category=args.category,
+        networks=networks,
+        locality=args.locality,
+        locality_param=args.locality_param,
+        epoch=args.epoch,
+        seed=args.seed,
+        topology=args.topology,
+        jobs=jobs,
+        cache=cache,
+        progress=not args.no_progress,
+    )
+    wall = time.perf_counter() - start
+
+    from repro.experiments.tables import format_table
+    for name in networks:
+        rows = [
+            (size, res.throughput_per_node, res.avg_net_latency,
+             res.network_utilization, res.mean_starvation)
+            for size, res in data[name]
+            if res is not None
+        ]
+        print(f"\n{name} ({args.category}, {args.locality}, "
+              f"epoch {args.epoch}):")
+        print(format_table(
+            ["cores", "IPC/node", "latency", "util", "starvation"], rows
+        ))
+    total = len(sizes) * len(networks)
+    hits = cache.hits if cache is not None else 0
+    print(f"\nharness: {total} jobs, {hits} cache hits, "
+          f"{total - hits} executed, wall {wall:.2f}s, workers {jobs}")
+    if cache is not None:
+        print(f"cache: {cache_dir} ({len(cache)} entries)")
+    return 0
+
+
 def _build_controller(args, network):
     if args.controller == "central":
         return CentralController(ControlParams(epoch=args.epoch))
@@ -112,6 +223,10 @@ def _build_controller(args, network):
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.app:
         workload = make_homogeneous_workload(args.app, args.nodes)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 __all__ = ["GuardrailReport"]
 
@@ -29,6 +29,10 @@ class GuardrailReport:
             or self.failed_routers
             or self.transient_fault_rate
         )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; ``GuardrailReport(**d)`` restores it."""
+        return asdict(self)
 
     def summary(self) -> str:
         parts = []

@@ -1,0 +1,130 @@
+"""Content-addressed on-disk result cache.
+
+Layout mirrors git's loose-object store: ``<root>/<key[:2]>/<key>.json``
+where the key is
+
+    sha256( JobSpec.canonical() + result-schema version + code version )
+
+so a cache entry is invalidated automatically when the experiment point
+changes (different spec), when the serialized result layout changes
+(``RESULT_SCHEMA_VERSION`` bump), or when the simulator itself is
+declared changed (``CODE_VERSION``, tied to the package version).
+
+Entries are JSON rather than pickle: human-inspectable, diffable, and a
+truncated or hand-edited file degrades to a cache *miss* instead of an
+arbitrary-code-execution hazard.  Writes go through a temp file +
+``os.replace`` so a crash mid-write can never leave a half-entry that a
+resumed sweep would trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Optional
+
+from repro.harness.jobs import JobSpec
+from repro.sim.results import RESULT_SCHEMA_VERSION, SimulationResult
+
+__all__ = ["ResultCache", "CODE_VERSION"]
+
+#: Version of the simulator code baked into every cache key.  Tracks the
+#: package version so a release that changes simulation behavior starts
+#: from a cold cache instead of replaying stale physics.
+CODE_VERSION = "1.0.0"
+
+
+class ResultCache:
+    """Maps :class:`JobSpec` -> stored :class:`SimulationResult`."""
+
+    def __init__(
+        self,
+        root,
+        code_version: str = CODE_VERSION,
+        schema_version: int = RESULT_SCHEMA_VERSION,
+    ):
+        self.root = pathlib.Path(root).expanduser()
+        self.code_version = code_version
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key(self, spec: JobSpec) -> str:
+        """Content hash of (spec, schema version, code version)."""
+        preimage = (
+            f"{spec.canonical()}|schema={self.schema_version}"
+            f"|code={self.code_version}"
+        )
+        return hashlib.sha256(preimage.encode("utf-8")).hexdigest()
+
+    def path(self, spec: JobSpec) -> pathlib.Path:
+        key = self.key(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, spec: JobSpec) -> Optional[SimulationResult]:
+        """The cached result, or ``None`` (counting a miss).
+
+        Any defect in the stored entry — unreadable file, invalid JSON,
+        missing fields, schema mismatch — is treated as a miss so the
+        sweep re-runs the point rather than crashing or trusting garbage.
+        """
+        path = self.path(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = SimulationResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted or stale entry: drop it and re-run.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: JobSpec, result: SimulationResult) -> pathlib.Path:
+        """Store *result* under the spec's key (atomic, crash-safe)."""
+        path = self.path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": self.key(spec),
+            "spec": json.loads(spec.canonical()),
+            "code_version": self.code_version,
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def __contains__(self, spec: JobSpec) -> bool:
+        return self.path(spec).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}

@@ -1,0 +1,272 @@
+"""Parallel sweep executor with caching and progress telemetry.
+
+:func:`run_jobs` is the one entry point: give it a list of
+:class:`~repro.harness.jobs.JobSpec` and it returns a
+:class:`HarnessReport` whose ``results`` align 1:1 with the input specs.
+
+Execution strategy:
+
+- every spec is first looked up in the optional
+  :class:`~repro.harness.cache.ResultCache`; hits never execute;
+- the remaining specs run on a ``ProcessPoolExecutor`` when
+  ``jobs > 1`` (worker processes import ``repro`` and call
+  :func:`~repro.harness.jobs.run_job`), or inline when ``jobs == 1`` —
+  the serial path exists both as a fallback for restricted environments
+  and as the reference the determinism tests compare against;
+- because a job derives every RNG stream from its spec, parallel
+  execution is bit-identical to serial: there is no shared mutable
+  state to race on, only an embarrassingly parallel fan-out;
+- a :class:`~repro.guardrails.errors.GuardrailError` inside one job
+  (livelock, invariant violation, wall-clock timeout) marks that job
+  failed (``result is None``) without sinking the sweep; every other
+  exception propagates, since it indicates a bug rather than a
+  diverging simulation.  Completed points are cached as they finish, so
+  a crashed or aborted sweep resumes from where it stopped.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.guardrails.errors import GuardrailError
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import JobSpec, run_job
+from repro.sim.results import SimulationResult
+
+__all__ = ["run_jobs", "HarnessReport", "JobRecord", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """Worker count from the ``REPRO_JOBS`` environment variable.
+
+    Defaults to 1 (serial) so library users opt in to parallelism; the
+    CLI's ``--jobs`` flag overrides it.  ``REPRO_JOBS=0`` means "all
+    cores".
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    return resolve_jobs(jobs)
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a worker-count request (``<= 0`` selects all cores)."""
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass
+class JobRecord:
+    """Telemetry for one job: where its result came from and how long."""
+
+    label: str
+    key: str  # spec content hash
+    cached: bool
+    seconds: float  # execution time (0.0 for cache hits)
+    error: Optional[str] = None  # GuardrailError message, if the job failed
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class HarnessReport:
+    """Outcome of one :func:`run_jobs` call."""
+
+    results: List[Optional[SimulationResult]]
+    records: List[JobRecord]
+    workers: int
+    wall_seconds: float
+    description: str = "sweep"
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cached)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.records if not r.cached)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r.error is not None)
+
+    @property
+    def all_cached(self) -> bool:
+        return self.total > 0 and self.cache_hits == self.total
+
+    @property
+    def job_seconds(self) -> float:
+        """Total per-job execution time (> wall time when parallel)."""
+        return sum(r.seconds for r in self.records)
+
+    def summary(self) -> str:
+        return (
+            f"[{self.description}] {self.total} jobs: "
+            f"{self.cache_hits} cache hits, {self.executed} executed, "
+            f"{self.failed} failed; wall {self.wall_seconds:.2f}s "
+            f"(job time {self.job_seconds:.2f}s, {self.workers} worker"
+            f"{'s' if self.workers != 1 else ''})"
+        )
+
+
+def _timed_run(spec: JobSpec):
+    """Worker entry point: run one spec, returning (result, secs, error).
+
+    Guardrail aborts come back as strings — exception instances with
+    custom constructors do not all survive pickling, and the parent
+    only needs the message for the job record.
+    """
+    start = time.perf_counter()
+    try:
+        result = run_job(spec)
+        return result, time.perf_counter() - start, None
+    except GuardrailError as error:
+        return None, time.perf_counter() - start, f"{type(error).__name__}: {error}"
+
+
+class _Progress:
+    """Live one-line progress meter on stderr."""
+
+    def __init__(self, enabled: bool, description: str, total: int):
+        self.enabled = enabled
+        self.description = description
+        self.total = total
+        self.done = 0
+        self.hits = 0
+        self.failed = 0
+        self.start = time.perf_counter()
+
+    def update(self, record: JobRecord) -> None:
+        self.done += 1
+        self.hits += int(record.cached)
+        self.failed += int(record.error is not None)
+        if not self.enabled:
+            return
+        elapsed = time.perf_counter() - self.start
+        line = (
+            f"\r[{self.description}] {self.done}/{self.total} jobs  "
+            f"{self.hits} cached  {self.done - self.hits} run  "
+            f"{self.failed} failed  {elapsed:.1f}s"
+        )
+        sys.stderr.write(line)
+        sys.stderr.flush()
+
+    def finish(self) -> None:
+        if self.enabled and self.total:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, str, os.PathLike, None, bool] = None,
+    progress: Union[bool, Callable[[JobRecord], None]] = False,
+    description: str = "sweep",
+) -> HarnessReport:
+    """Execute *specs*, in parallel and against the cache, in order.
+
+    Parameters
+    ----------
+    specs:
+        The experiment points.  ``results[i]`` in the returned report
+        corresponds to ``specs[i]``.
+    jobs:
+        Worker processes; ``1`` runs inline (serial fallback), ``<= 0``
+        uses every core, ``None`` reads ``$REPRO_JOBS`` (default 1).
+    cache:
+        A :class:`ResultCache`, a directory path to build one in,
+        ``None`` to read ``$REPRO_CACHE_DIR`` (no caching when unset),
+        or ``False`` to force caching off.
+    progress:
+        ``True`` draws a live progress line on stderr; a callable is
+        invoked with each finished :class:`JobRecord` instead (testing /
+        custom UIs).
+    description:
+        Tag used in the progress line and report summary.
+    """
+    specs = list(specs)
+    for spec in specs:
+        if not isinstance(spec, JobSpec):
+            raise TypeError(f"expected JobSpec, got {type(spec).__name__}")
+    if cache is None:
+        cache = os.environ.get("REPRO_CACHE_DIR") or None
+    elif cache is False:
+        cache = None
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    jobs = default_jobs() if jobs is None else resolve_jobs(jobs)
+
+    results: List[Optional[SimulationResult]] = [None] * len(specs)
+    records: List[Optional[JobRecord]] = [None] * len(specs)
+    on_record = progress if callable(progress) else None
+    meter = _Progress(progress is True, description, len(specs))
+    start = time.perf_counter()
+
+    # ---- cache pass ---------------------------------------------------
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+            records[i] = JobRecord(
+                label=spec.label(),
+                key=spec.content_hash(),
+                cached=True,
+                seconds=0.0,
+            )
+            meter.update(records[i])
+            if on_record:
+                on_record(records[i])
+        else:
+            pending.append(i)
+
+    # ---- execution pass ----------------------------------------------
+    def finish(i: int, result, seconds: float, error: Optional[str]) -> None:
+        results[i] = result
+        records[i] = JobRecord(
+            label=specs[i].label(),
+            key=specs[i].content_hash(),
+            cached=False,
+            seconds=seconds,
+            error=error,
+        )
+        if cache is not None and result is not None:
+            cache.put(specs[i], result)
+        meter.update(records[i])
+        if on_record:
+            on_record(records[i])
+
+    workers = min(jobs, len(pending)) if pending else jobs
+    if workers <= 1:
+        for i in pending:
+            finish(i, *_timed_run(specs[i]))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_timed_run, specs[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(futures[future], *future.result())
+
+    meter.finish()
+    return HarnessReport(
+        results=results,
+        records=records,
+        workers=workers,
+        wall_seconds=time.perf_counter() - start,
+        description=description,
+        cache_stats=cache.stats() if cache is not None else {},
+    )

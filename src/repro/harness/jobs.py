@@ -1,0 +1,195 @@
+"""The harness job model.
+
+An experiment point is a *pure function* of a :class:`JobSpec`: the spec
+carries everything the simulator consumes — workload assignment,
+network/topology/locality selection, controller recipe, cycle budget,
+seed — as plain hashable values, never live objects.  That buys three
+properties the sweep engine needs:
+
+1. a **stable content hash** (:meth:`JobSpec.content_hash`) independent
+   of process, ``PYTHONHASHSEED``, and field declaration order, usable
+   as an on-disk cache key;
+2. **cheap transport**: a spec pickles in microseconds, so shipping work
+   to a :class:`~concurrent.futures.ProcessPoolExecutor` costs nothing
+   compared to the simulation behind it;
+3. **determinism**: :func:`run_job` derives every RNG stream from the
+   spec's seed via :func:`repro.rng.child_rng`, so executing a spec in a
+   worker process is bit-identical to executing it inline.
+
+Controllers are described declaratively (``("central",)``,
+``("static", 0.9)``, ``("none",)``) and instantiated inside the worker,
+because controller objects hold mutable per-run state that must never be
+shared across jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.sim.results import RESULT_SCHEMA_VERSION, SimulationResult
+from repro.traffic.workloads import Workload
+
+__all__ = ["JobSpec", "run_job", "CONTROLLER_KINDS"]
+
+#: Controller recipes :func:`build_controller` understands.
+CONTROLLER_KINDS = ("none", "central", "static")
+
+#: Config values a spec may carry: JSON scalars only, so hashing and the
+#: on-disk cache stay canonical.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_scalar(name: str, value) -> None:
+    if not isinstance(value, _SCALARS):
+        raise TypeError(
+            f"JobSpec config value {name}={value!r} is not a JSON "
+            "scalar; specs must be declarative — pass live objects "
+            "(FaultConfig, locality samplers, controllers) to "
+            "repro.experiments.run_workload directly instead"
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation point, fully described by hashable values."""
+
+    app_names: Tuple[Optional[str], ...]
+    cycles: int
+    seed: int = 1
+    epoch: int = 1000
+    #: controller recipe: ``("none",)``, ``("central",)`` (the paper's
+    #: mechanism at this spec's epoch), or ``("static", rate)``
+    controller: Tuple = ("none",)
+    network: str = "bless"
+    topology: str = "mesh"
+    locality: str = "uniform"
+    locality_param: float = 1.0
+    category: str = ""
+    #: extra :class:`~repro.config.SimulationConfig` keyword arguments,
+    #: as a sorted tuple of ``(name, scalar)`` pairs
+    config: Tuple[Tuple[str, object], ...] = ()
+    #: wall-clock budget for the run in seconds (`None` = unbounded)
+    deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if not isinstance(self.controller, tuple) or not self.controller:
+            raise TypeError(
+                f"controller must be a non-empty tuple, got {self.controller!r}"
+            )
+        if self.controller[0] not in CONTROLLER_KINDS:
+            raise ValueError(
+                f"unknown controller kind {self.controller[0]!r}; "
+                f"expected one of {CONTROLLER_KINDS}"
+            )
+        for name, value in self.config:
+            _check_scalar(name, value)
+        # Normalize: sorted config so equal specs hash equally regardless
+        # of the order the caller assembled the kwargs in.
+        object.__setattr__(self, "config", tuple(sorted(self.config)))
+        object.__setattr__(self, "app_names", tuple(self.app_names))
+        object.__setattr__(self, "controller", tuple(self.controller))
+
+    #: Spec fields that double as :class:`~repro.config.SimulationConfig`
+    #: keywords; ``for_workload`` lifts them out of a loose config dict.
+    _LIFTED = ("network", "topology", "locality", "locality_param", "deadline")
+
+    @classmethod
+    def for_workload(cls, workload: Workload, cycles: int, **kw) -> "JobSpec":
+        """Build a spec from a constructed :class:`Workload`.
+
+        ``config`` may be a loose keyword dict (the ``**kw`` a sweep
+        driver collected); keys that are first-class spec fields
+        (``network``, ``locality``, ...) are lifted into those fields so
+        they are never passed to the simulator twice.
+        """
+        config = kw.pop("config", {})
+        if isinstance(config, dict):
+            config = dict(config)
+            for name in cls._LIFTED:
+                if name in config and name not in kw:
+                    kw[name] = config.pop(name)
+            config = tuple(sorted(config.items()))
+        return cls(
+            app_names=workload.app_names,
+            category=workload.category,
+            cycles=cycles,
+            config=config,
+            **kw,
+        )
+
+    @property
+    def workload(self) -> Workload:
+        return Workload(self.app_names, category=self.category)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.app_names)
+
+    def canonical(self) -> str:
+        """Deterministic JSON encoding (the hash pre-image)."""
+        payload = {
+            "app_names": list(self.app_names),
+            "category": self.category,
+            "cycles": self.cycles,
+            "seed": self.seed,
+            "epoch": self.epoch,
+            "controller": list(self.controller),
+            "network": self.network,
+            "topology": self.topology,
+            "locality": self.locality,
+            "locality_param": self.locality_param,
+            "config": [list(pair) for pair in self.config],
+            "deadline": self.deadline,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Stable sha256 of the spec (same in every process and session)."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines and reports."""
+        ctl = self.controller[0]
+        extra = f"+{ctl}" if ctl != "none" else ""
+        return (
+            f"{self.category or 'custom'}/{self.num_nodes}n/"
+            f"{self.network}{extra}/s{self.seed}"
+        )
+
+
+def build_controller(spec: JobSpec):
+    """Instantiate the controller a spec describes (inside the worker)."""
+    from repro.control.base import NoController
+    from repro.control.central import CentralController, ControlParams
+    from repro.control.static_throttle import StaticThrottleController
+
+    kind = spec.controller[0]
+    if kind == "none":
+        return NoController()
+    if kind == "central":
+        return CentralController(ControlParams(epoch=spec.epoch))
+    if kind == "static":
+        return StaticThrottleController(float(spec.controller[1]))
+    raise ValueError(f"unknown controller kind {kind!r}")
+
+
+def run_job(spec: JobSpec) -> SimulationResult:
+    """Execute one spec to completion (the worker entry point)."""
+    from repro.experiments.runner import run_workload
+
+    return run_workload(
+        spec.workload,
+        spec.cycles,
+        controller=build_controller(spec),
+        epoch=spec.epoch,
+        seed=spec.seed,
+        deadline=spec.deadline,
+        network=spec.network,
+        topology=spec.topology,
+        locality=spec.locality,
+        locality_param=spec.locality_param,
+        **dict(spec.config),
+    )

@@ -39,3 +39,24 @@ class EpochSeries:
 
     def __len__(self) -> int:
         return len(self.cycles)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EpochSeries):
+            return NotImplemented
+        return self.cycles == other.cycles and self._data == other._data
+
+    # ------------------------------------------------------------------
+    # Lossless round-trip (harness result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"cycles": list(self.cycles), "series": dict(self._data)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EpochSeries":
+        out = cls()
+        out.cycles = [int(c) for c in data["cycles"]]
+        out._data = {
+            name: [float(v) for v in values]
+            for name, values in data["series"].items()
+        }
+        return out

@@ -1,4 +1,11 @@
-"""Simulation results."""
+"""Simulation results.
+
+``SimulationResult`` is a plain value object: every field is either a
+scalar, a numpy array, or one of the small report dataclasses, so a
+result can cross process boundaries (pickle) and be stored losslessly
+on disk (``to_dict``/``from_dict``).  The content-addressed result
+cache in :mod:`repro.harness` relies on both properties.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +13,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.guardrails.report import GuardrailReport
 from repro.metrics.collectors import EpochSeries
 from repro.power.model import PowerReport
 
-__all__ = ["SimulationResult"]
+__all__ = ["SimulationResult", "RESULT_SCHEMA_VERSION"]
+
+#: Bump whenever the serialized layout of :meth:`SimulationResult.to_dict`
+#: changes shape or meaning; the on-disk result cache keys on it so stale
+#: entries are never deserialized into a new schema.
+RESULT_SCHEMA_VERSION = 1
+
+_ARRAY_FIELDS = {
+    "ipc": float,
+    "active": bool,
+    "ipf": float,
+    "starvation_rate": float,
+    "port_starvation_rate": float,
+}
 
 
 @dataclass
@@ -33,9 +54,28 @@ class SimulationResult:
     ejected_flits: int
     power: PowerReport
     epochs: EpochSeries
-    latency_percentile: object = None  # callable p -> cycles
+    #: per-flit delivered-latency histogram (the percentile samples);
+    #: ``None`` for hand-built results, which report percentile 0
+    latency_hist: np.ndarray = None
     in_flight_flits: int = 0  # still in the network at run end
     guardrails: object = None  # GuardrailReport (None for hand-built results)
+
+    def latency_percentile(self, p: float) -> int:
+        """The *p*-th percentile (0-100) of delivered-flit latency.
+
+        Computed from the stored histogram, so it survives pickling and
+        dict round-trips (the simulator used to attach a bound method
+        here, which no process pool could ship home).
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.latency_hist is None:
+            return 0
+        total = int(self.latency_hist.sum())
+        if total == 0:
+            return 0
+        cum = np.cumsum(self.latency_hist)
+        return int(np.searchsorted(cum, p / 100.0 * total, side="left"))
 
     @property
     def flit_conservation_ok(self) -> bool:
@@ -67,6 +107,85 @@ class SimulationResult:
         if not self.active.any():
             return 0.0
         return float(self.port_starvation_rate[self.active].mean())
+
+    # ------------------------------------------------------------------
+    # Lossless serialization (result cache, cross-process transport)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-compatible dict that :meth:`from_dict` restores exactly.
+
+        Floats serialize via ``repr`` under ``json.dumps`` (shortest
+        round-trip representation), so a dict -> JSON -> dict cycle is
+        bit-identical; ``inf`` entries in ``ipf`` rely on the Python
+        ``json`` module's non-strict ``Infinity`` handling.
+        """
+        out = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "cycles": int(self.cycles),
+            "num_nodes": int(self.num_nodes),
+            "avg_net_latency": float(self.avg_net_latency),
+            "max_net_latency": int(self.max_net_latency),
+            "avg_injection_latency": float(self.avg_injection_latency),
+            "avg_hops": float(self.avg_hops),
+            "deflection_rate": float(self.deflection_rate),
+            "network_utilization": float(self.network_utilization),
+            "injected_flits": int(self.injected_flits),
+            "ejected_flits": int(self.ejected_flits),
+            "in_flight_flits": int(self.in_flight_flits),
+            "power": {
+                "dynamic_energy": float(self.power.dynamic_energy),
+                "static_energy": float(self.power.static_energy),
+                "cycles": int(self.power.cycles),
+            },
+            "epochs": self.epochs.to_dict(),
+            "guardrails": (
+                None if self.guardrails is None else self.guardrails.to_dict()
+            ),
+            "latency_hist": (
+                None
+                if self.latency_hist is None
+                else np.asarray(self.latency_hist, dtype=np.int64).tolist()
+            ),
+        }
+        for name, kind in _ARRAY_FIELDS.items():
+            out[name] = np.asarray(getattr(self, name)).astype(kind).tolist()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result saved by :meth:`to_dict`."""
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"result schema {schema!r} != {RESULT_SCHEMA_VERSION} "
+                "(stale serialization)"
+            )
+        arrays = {
+            name: np.asarray(data[name], dtype=kind)
+            for name, kind in _ARRAY_FIELDS.items()
+        }
+        hist = data["latency_hist"]
+        guard = data["guardrails"]
+        return cls(
+            cycles=data["cycles"],
+            num_nodes=data["num_nodes"],
+            avg_net_latency=data["avg_net_latency"],
+            max_net_latency=data["max_net_latency"],
+            avg_injection_latency=data["avg_injection_latency"],
+            avg_hops=data["avg_hops"],
+            deflection_rate=data["deflection_rate"],
+            network_utilization=data["network_utilization"],
+            injected_flits=data["injected_flits"],
+            ejected_flits=data["ejected_flits"],
+            in_flight_flits=data["in_flight_flits"],
+            power=PowerReport(**data["power"]),
+            epochs=EpochSeries.from_dict(data["epochs"]),
+            guardrails=None if guard is None else GuardrailReport(**guard),
+            latency_hist=(
+                None if hist is None else np.asarray(hist, dtype=np.int64)
+            ),
+            **arrays,
+        )
 
     def summary(self) -> str:
         """One-line human-readable digest."""

@@ -332,7 +332,7 @@ class Simulator:
             ejected_flits=stats.ejected_flits,
             power=power,
             epochs=self.epochs,
-            latency_percentile=stats.latency_percentile,
+            latency_hist=stats.latency_hist.copy(),
             in_flight_flits=self.network.in_flight_flits(),
             guardrails=guardrails,
         )

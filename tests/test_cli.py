@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import build_parser, main
+from repro.__main__ import build_parser, build_sweep_parser, main
 
 
 class TestParser:
@@ -57,6 +57,44 @@ class TestMain:
                    "--network", "buffered", "--topology", "torus",
                    "--locality", "exponential"])
         assert rc == 0
+
+
+class TestSweepSubcommand:
+    def test_sweep_parser_defaults(self):
+        args = build_sweep_parser().parse_args([])
+        assert args.sizes == "16,64"
+        assert args.jobs is None  # resolved from $REPRO_JOBS at run time
+        assert args.cache_dir is None
+
+    def test_sweep_cold_then_warm(self, tmp_path, capsys):
+        argv = ["sweep", "--sizes", "16", "--networks", "bless",
+                "--cycles", "1200", "--epoch", "400", "--jobs", "1",
+                "--cache-dir", str(tmp_path), "--no-progress"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "harness: 1 jobs, 0 cache hits, 1 executed" in cold
+        assert "IPC/node" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "harness: 1 jobs, 1 cache hits, 0 executed" in warm
+
+    def test_sweep_parallel_workers(self, tmp_path, capsys):
+        rc = main(["sweep", "--sizes", "16,25", "--networks", "bless",
+                   "--cycles", "1100", "--epoch", "400", "--jobs", "2",
+                   "--no-progress"])
+        assert rc == 0
+        assert "workers 2" in capsys.readouterr().out
+
+    def test_sweep_rejects_bad_sizes(self, capsys):
+        rc = main(["sweep", "--sizes", "16,banana", "--no-progress"])
+        assert rc == 2
+        assert "invalid --sizes" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_network(self, capsys):
+        rc = main(["sweep", "--sizes", "16", "--networks", "wormhole",
+                   "--no-progress"])
+        assert rc == 2
 
 
 class TestGuardrailFlags:

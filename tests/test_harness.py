@@ -1,0 +1,306 @@
+"""Tests for repro.harness: job model, cache, and parallel executor."""
+
+import json
+import os
+import pathlib
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweeps import scaling_sweep
+from repro.harness import (
+    HarnessReport,
+    JobSpec,
+    ResultCache,
+    run_job,
+    run_jobs,
+)
+from repro.harness.executor import default_jobs, resolve_jobs
+from repro.sim.results import RESULT_SCHEMA_VERSION, SimulationResult
+
+
+def small_spec(**overrides) -> JobSpec:
+    kw = dict(
+        app_names=("mcf",) * 16,
+        cycles=1200,
+        seed=1,
+        epoch=400,
+    )
+    kw.update(overrides)
+    return JobSpec(**kw)
+
+
+def results_equal(a: SimulationResult, b: SimulationResult) -> bool:
+    return a.to_dict() == b.to_dict()
+
+
+class TestJobSpec:
+    def test_content_hash_is_deterministic(self):
+        assert small_spec().content_hash() == small_spec().content_hash()
+
+    def test_hash_differs_on_any_field(self):
+        base = small_spec().content_hash()
+        assert small_spec(seed=2).content_hash() != base
+        assert small_spec(cycles=1300).content_hash() != base
+        assert small_spec(network="buffered").content_hash() != base
+        assert small_spec(controller=("central",)).content_hash() != base
+
+    def test_hash_independent_of_config_order(self):
+        a = small_spec(config=(("a", 1), ("b", 2)))
+        b = small_spec(config=(("b", 2), ("a", 1)))
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_stable_across_processes(self):
+        """The cache key must not depend on PYTHONHASHSEED or process
+        state — it is the on-disk identity of a result."""
+        script = (
+            "from repro.harness import JobSpec; "
+            "print(JobSpec(('mcf',)*16, cycles=1200, seed=1, "
+            "epoch=400).content_hash())"
+        )
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        hashes = set()
+        for hashseed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED=hashseed)
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            )
+            hashes.add(proc.stdout.strip())
+        assert hashes == {small_spec().content_hash()}
+
+    def test_rejects_unknown_controller(self):
+        with pytest.raises(ValueError):
+            small_spec(controller=("pid",))
+        with pytest.raises(TypeError):
+            small_spec(controller="central")
+
+    def test_rejects_non_scalar_config(self):
+        with pytest.raises(TypeError):
+            small_spec(config=(("faults", object()),))
+
+    def test_for_workload_lifts_config_fields(self):
+        from repro.traffic.workloads import make_homogeneous_workload
+
+        wl = make_homogeneous_workload("mcf", 16)
+        spec = JobSpec.for_workload(
+            wl, 1200, config={"network": "buffered", "mshr_limit": 8}
+        )
+        assert spec.network == "buffered"
+        assert spec.config == (("mshr_limit", 8),)
+        assert spec.category == "H"
+
+    def test_run_job_matches_run_workload(self):
+        from repro.experiments.runner import run_workload
+        from repro.traffic.workloads import make_homogeneous_workload
+
+        spec = small_spec()
+        direct = run_workload(
+            make_homogeneous_workload("mcf", 16), 1200, epoch=400, seed=1
+        )
+        assert results_equal(run_job(spec), direct)
+
+
+class TestResultRoundtrip:
+    def test_to_dict_from_dict_is_lossless(self):
+        res = run_job(small_spec())
+        clone = SimulationResult.from_dict(res.to_dict())
+        assert results_equal(res, clone)
+        np.testing.assert_array_equal(res.ipc, clone.ipc)
+        np.testing.assert_array_equal(res.latency_hist, clone.latency_hist)
+        assert clone.epochs == res.epochs
+        assert clone.guardrails == res.guardrails
+        assert clone.power == res.power
+
+    def test_roundtrip_survives_json_and_inf(self):
+        # Idle nodes have ipf = inf; the json module's non-strict mode
+        # must carry it through unchanged.
+        spec = small_spec(app_names=("mcf", None) * 8)
+        res = run_job(spec)
+        assert np.isinf(res.ipf).any()
+        clone = SimulationResult.from_dict(json.loads(json.dumps(res.to_dict())))
+        assert results_equal(res, clone)
+
+    def test_result_is_picklable(self):
+        # The old closure field made results unpicklable, which forbade
+        # shipping them across ProcessPoolExecutor boundaries.
+        res = run_job(small_spec())
+        clone = pickle.loads(pickle.dumps(res))
+        assert results_equal(res, clone)
+        assert clone.latency_percentile(50) == res.latency_percentile(50)
+
+    def test_percentile_from_stored_samples(self):
+        res = run_job(small_spec())
+        p50, p99 = res.latency_percentile(50), res.latency_percentile(99)
+        assert 0 < p50 <= p99 <= res.max_net_latency
+
+    def test_from_dict_rejects_stale_schema(self):
+        payload = run_job(small_spec()).to_dict()
+        payload["schema"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            SimulationResult.from_dict(payload)
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_spec()
+        res = run_job(spec)
+        cache.put(spec, res)
+        assert spec in cache
+        assert len(cache) == 1
+        hit = cache.get(spec)
+        assert results_equal(hit, res)
+        assert cache.stats() == {"hits": 1, "misses": 0}
+
+    def test_miss_on_absent_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(small_spec()) is None
+        assert cache.stats() == {"hits": 0, "misses": 1}
+
+    def test_spec_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_spec()
+        cache.put(spec, run_job(spec))
+        assert cache.get(small_spec(seed=2)) is None
+
+    def test_schema_version_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, schema_version=RESULT_SCHEMA_VERSION)
+        spec = small_spec()
+        old.put(spec, run_job(spec))
+        bumped = ResultCache(tmp_path, schema_version=RESULT_SCHEMA_VERSION + 1)
+        assert bumped.get(spec) is None
+        assert bumped.key(spec) != old.key(spec)
+
+    def test_code_version_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, code_version="1.0.0")
+        spec = small_spec()
+        old.put(spec, run_job(spec))
+        assert ResultCache(tmp_path, code_version="2.0.0").get(spec) is None
+
+    def test_corrupted_entry_falls_back_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_spec()
+        cache.put(spec, run_job(spec))
+        path = cache.path(spec)
+        path.write_text("{ truncated garbage")
+        assert cache.get(spec) is None
+        assert not path.exists()  # dropped so the rerun can replace it
+
+    def test_truncated_payload_falls_back_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_spec()
+        cache.put(spec, run_job(spec))
+        payload = json.loads(cache.path(spec).read_text())
+        del payload["result"]["ipc"]
+        cache.path(spec).write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+
+
+class TestRunJobs:
+    def test_results_align_with_specs(self, tmp_path):
+        specs = [small_spec(seed=s) for s in (3, 1, 2)]
+        report = run_jobs(specs, jobs=1, cache=False)
+        assert isinstance(report, HarnessReport)
+        assert len(report.results) == 3
+        for spec, res in zip(specs, report.results):
+            assert results_equal(res, run_job(spec))
+
+    def test_cache_hit_skips_execution(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        report = run_jobs([spec], jobs=1, cache=tmp_path)
+        assert report.executed == 1 and report.cache_hits == 0
+
+        # Poison execution: any attempt to actually run must blow up.
+        def boom(_spec):
+            raise AssertionError("cache hit must not execute the job")
+
+        monkeypatch.setattr("repro.harness.executor.run_job", boom)
+        warm = run_jobs([spec], jobs=1, cache=tmp_path)
+        assert warm.cache_hits == 1 and warm.executed == 0
+        assert warm.all_cached
+        assert results_equal(warm.results[0], report.results[0])
+
+    def test_spec_change_causes_execution(self, tmp_path):
+        run_jobs([small_spec()], jobs=1, cache=tmp_path)
+        report = run_jobs([small_spec(cycles=1300)], jobs=1, cache=tmp_path)
+        assert report.executed == 1
+
+    def test_guardrail_abort_records_failure(self):
+        # A zero wall-clock budget trips SimulationTimeout immediately;
+        # the sweep records the failure and keeps going.
+        specs = [small_spec(deadline=0.0), small_spec()]
+        report = run_jobs(specs, jobs=1, cache=False)
+        assert report.results[0] is None
+        assert report.failed == 1
+        assert "SimulationTimeout" in report.records[0].error
+        assert report.results[1] is not None
+        assert "1 failed" in report.summary()
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        spec = small_spec(deadline=0.0)
+        run_jobs([spec], jobs=1, cache=tmp_path)
+        cache = ResultCache(tmp_path)
+        assert cache.get(spec) is None
+
+    def test_progress_callback_sees_every_record(self):
+        seen = []
+        run_jobs([small_spec(), small_spec(seed=2)], jobs=1,
+                 cache=False, progress=seen.append)
+        assert len(seen) == 2
+        assert all(not r.cached and r.ok and r.seconds > 0 for r in seen)
+
+    def test_rejects_non_spec_input(self):
+        with pytest.raises(TypeError):
+            run_jobs(["not a spec"], jobs=1, cache=False)
+
+    def test_jobs_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() == 1
+        assert resolve_jobs(0) >= 1
+
+    def test_cache_dir_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        run_jobs([small_spec()], jobs=1)
+        assert len(ResultCache(tmp_path)) == 1
+        # cache=False forces caching off even with the env var set.
+        run_jobs([small_spec(seed=9)], jobs=1, cache=False)
+        assert len(ResultCache(tmp_path)) == 1
+
+
+class TestParallelDeterminism:
+    def test_parallel_run_jobs_matches_serial(self):
+        specs = [small_spec(seed=s, cycles=1100) for s in (1, 2, 3, 4)]
+        serial = run_jobs(specs, jobs=1, cache=False)
+        parallel = run_jobs(specs, jobs=4, cache=False)
+        assert serial.workers == 1 and parallel.workers == 4
+        for a, b in zip(serial.results, parallel.results):
+            assert results_equal(a, b)
+
+    def test_scaling_sweep_parallel_identical_to_serial(self):
+        """Satellite: a 3-point scaling_sweep with jobs=4 is numerically
+        identical to jobs=1 — same seeds, same epochs, same arrays."""
+        kw = dict(
+            cycles_for=lambda n: 1200,
+            networks=("bless",),
+            epoch=400,
+            seed=2,
+        )
+        serial = scaling_sweep((16, 25, 36), cache=False, jobs=1, **kw)
+        parallel = scaling_sweep((16, 25, 36), cache=False, jobs=4, **kw)
+        assert [s for s, _ in serial["bless"]] == [16, 25, 36]
+        for (size_s, res_s), (size_p, res_p) in zip(
+            serial["bless"], parallel["bless"]
+        ):
+            assert size_s == size_p
+            assert results_equal(res_s, res_p)
+            np.testing.assert_array_equal(res_s.ipc, res_p.ipc)
+            assert res_s.epochs == res_p.epochs

@@ -58,3 +58,23 @@ class TestAggregates:
         text = res.summary()
         for token in ("IPC/node", "util", "latency", "starvation", "power"):
             assert token in text
+
+
+class TestSerialization:
+    def test_percentile_without_histogram_is_zero(self):
+        res = make_result([1.0], [True])
+        assert res.latency_hist is None
+        assert res.latency_percentile(99) == 0
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_result([1.0], [True]).latency_percentile(101)
+
+    def test_hand_built_roundtrip(self):
+        res = make_result([1.0, 2.0], [True, False])
+        clone = SimulationResult.from_dict(res.to_dict())
+        assert clone.to_dict() == res.to_dict()
+        assert clone.guardrails is None
+        assert clone.latency_hist is None
+        np.testing.assert_array_equal(clone.ipc, res.ipc)
+        assert clone.epochs == res.epochs
