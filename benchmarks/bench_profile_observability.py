@@ -1,0 +1,67 @@
+"""Observability smoke benchmark: per-phase profile + BENCH_pr3.json.
+
+Profiles the 8x8 smoke configuration (``python -m repro profile``'s
+default point, cycle budget scaled down for CI), prints the per-phase
+wall-clock breakdown, and writes the machine-readable perf baseline to
+``BENCH_pr3.json`` at the repository root (plus a copy of the report
+under ``benchmarks/results/``).  The overhead gate re-times the
+observability-*disabled* path against a plain run and asserts the
+residual cost stays under 5% — the "free unless switched on" guarantee
+CI enforces.
+"""
+
+import json
+import pathlib
+
+from conftest import once, scaled
+from repro.observability.profile import run_profile, write_bench_json
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_pr3.json"
+
+#: CI overhead budget (percent) for the disabled observability layer.
+OVERHEAD_LIMIT = 5.0
+
+
+def test_profile_observability_smoke(benchmark, report, scale):
+    payload = once(
+        benchmark,
+        lambda: run_profile(
+            nodes=64,
+            cycles=scaled(6000, scale),
+            epoch=1000,
+            trace=True,
+            overhead_check=OVERHEAD_LIMIT,
+            repeats=2,
+        ),
+    )
+    write_bench_json(BENCH_PATH, payload)
+
+    lines = [
+        "observability profile (8x8 mesh, category H, bless)",
+        f"  cycles/s {payload['cycles_per_sec']:,.0f}   "
+        f"flits/s {payload['flits_per_sec']:,.0f}   "
+        f"wall {payload['wall_seconds']:.3f}s",
+        "  phase shares: "
+        + "  ".join(
+            f"{name} {share:.1%}"
+            for name, share in sorted(
+                payload["phase_shares"].items(), key=lambda kv: -kv[1]
+            )
+        ),
+        f"  trace: {payload['trace']['recorded']} events recorded, "
+        f"{payload['trace']['dropped']} dropped",
+        f"  disabled-observability overhead: "
+        f"{payload['overhead_pct']:+.2f}% (limit {OVERHEAD_LIMIT:g}%)",
+        f"  wrote {BENCH_PATH.name}",
+    ]
+    report("profile_observability", "\n".join(lines))
+
+    # The committed baseline must stay strict RFC-8259 JSON.
+    parsed = json.loads(BENCH_PATH.read_text())
+    assert parsed["cycles_per_sec"] > 0
+    assert parsed["flits_per_sec"] > 0
+    assert abs(sum(parsed["phase_shares"].values()) - 1.0) < 1e-9
+    assert payload["overhead_ok"], (
+        f"observability-disabled overhead {payload['overhead_pct']:.2f}% "
+        f"exceeds the {OVERHEAD_LIMIT:g}% budget"
+    )

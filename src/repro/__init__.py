@@ -53,6 +53,7 @@ from repro.harness import (
 )
 from repro.metrics import max_slowdown, system_throughput, weighted_speedup
 from repro.network import BlessNetwork, BufferedNetwork
+from repro.observability import FlitTracer, PerfCounters, PhaseTimer
 from repro.power import PowerCoefficients, PowerModel, PowerReport
 from repro.rng import child_rng
 from repro.sim import SimulationResult, Simulator
@@ -104,6 +105,9 @@ __all__ = [
     "PowerModel",
     "PowerCoefficients",
     "PowerReport",
+    "PhaseTimer",
+    "FlitTracer",
+    "PerfCounters",
     "FaultConfig",
     "FaultModel",
     "GuardrailError",

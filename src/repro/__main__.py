@@ -13,6 +13,18 @@ cache, so re-running only executes changed points::
 
     python -m repro sweep --sizes 16,64,256 --jobs 4 \
         --cache-dir ~/.cache/repro-sweeps
+
+The ``profile`` subcommand runs the observability smoke benchmark — a
+per-phase wall-clock breakdown plus throughput counters — and writes
+the machine-readable baseline (``BENCH_pr3.json``)::
+
+    python -m repro profile --nodes 64 --cycles 20000 --out BENCH_pr3.json
+    python -m repro profile --overhead-check 5    # CI gate
+
+Single runs take ``--profile`` (per-phase timing on the result) and
+``--trace`` (sampled per-flit event tracing)::
+
+    python -m repro --category H --nodes 16 --profile --trace
 """
 
 from __future__ import annotations
@@ -36,7 +48,8 @@ from repro import (
 )
 from repro.guardrails import FaultConfig, GuardrailError
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_sweep_parser",
+           "build_profile_parser", "profile_main", "sweep_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--locality", choices=("uniform", "exponential",
                                                "powerlaw"), default="uniform")
     parser.add_argument("--locality-param", type=float, default=1.0)
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--profile", action="store_true",
+        help="time each simulated phase and print the breakdown",
+    )
+    obs.add_argument(
+        "--trace", action="store_true",
+        help="record sampled per-flit inject/hop/deflect/eject events",
+    )
+    obs.add_argument(
+        "--trace-sample", type=float, default=1 / 16, metavar="FRACTION",
+        help="fraction of packets traced (default 1/16)",
+    )
+    obs.add_argument(
+        "--trace-capacity", type=int, default=65_536, metavar="EVENTS",
+        help="trace ring-buffer size; oldest events overwritten "
+             "(default 65536)",
+    )
     guard = parser.add_argument_group("guardrails")
     guard.add_argument(
         "--check-invariants", action="store_true",
@@ -151,6 +182,102 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Observability smoke benchmark: per-phase wall-clock "
+        "breakdown, throughput counters, and the BENCH_pr3.json baseline.",
+    )
+    parser.add_argument("--nodes", type=int, default=64,
+                        help="node count (square mesh; default 64)")
+    parser.add_argument("--cycles", type=int, default=20_000)
+    parser.add_argument("--category", choices=WORKLOAD_CATEGORIES,
+                        default="H")
+    parser.add_argument("--network", choices=("bless", "buffered"),
+                        default="bless")
+    parser.add_argument("--topology", choices=("mesh", "torus"),
+                        default="mesh")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--epoch", type=int, default=2_000)
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="also enable flit tracing and report its event counts",
+    )
+    parser.add_argument("--trace-sample", type=float, default=1 / 16,
+                        metavar="FRACTION")
+    parser.add_argument(
+        "--out", default="BENCH_pr3.json", metavar="PATH",
+        help="benchmark JSON output path (default BENCH_pr3.json; "
+             "'-' skips the file)",
+    )
+    parser.add_argument(
+        "--overhead-check", type=float, default=None, metavar="PCT",
+        help="also time the observability-disabled path against a plain "
+             "run and exit 1 if the overhead exceeds PCT percent",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, metavar="N",
+        help="timing repetitions per side of the overhead check "
+             "(best-of; default 2)",
+    )
+    return parser
+
+
+def profile_main(argv=None) -> int:
+    from repro.observability.profile import run_profile, write_bench_json
+
+    args = build_profile_parser().parse_args(argv)
+    payload = run_profile(
+        nodes=args.nodes,
+        cycles=args.cycles,
+        category=args.category,
+        network=args.network,
+        topology=args.topology,
+        seed=args.seed,
+        epoch=args.epoch,
+        trace=args.trace,
+        trace_sample=args.trace_sample,
+        overhead_check=args.overhead_check,
+        repeats=args.repeats,
+    )
+    cfg = payload["config"]
+    print(f"profile: {cfg['nodes']} nodes, {cfg['cycles']} cycles, "
+          f"{cfg['category']}/{cfg['network']}/{cfg['topology']}, "
+          f"seed {cfg['seed']}")
+    print(f"  {payload['cycles_per_sec']:,.0f} cycles/s   "
+          f"{payload['flits_per_sec']:,.0f} flits/s   "
+          f"wall {payload['wall_seconds']:.3f}s")
+    print()
+    print("phase         seconds    share")
+    for name, secs in sorted(
+        payload["phase_seconds"].items(), key=lambda kv: -kv[1]
+    ):
+        share = payload["phase_shares"].get(name, 0.0)
+        print(f"{name:<12} {secs:>8.4f}   {share:>5.1%}")
+    if payload["trace"] is not None:
+        tr = payload["trace"]
+        counts = ", ".join(
+            f"{n} {c}" for n, c in tr["event_counts"].items()
+        )
+        print(f"\ntrace: {tr['recorded']} events recorded "
+              f"({tr['dropped']} dropped, sample={tr['sample']:g}): {counts}")
+    if args.out != "-":
+        path = write_bench_json(args.out, payload)
+        print(f"\nwrote {path}")
+    if payload["overhead_pct"] is not None:
+        print(f"\noverhead check: plain "
+              f"{payload['baseline_cycles_per_sec']:,.0f} cycles/s, "
+              f"observability disabled "
+              f"{payload['tracing_disabled_cycles_per_sec']:,.0f} cycles/s "
+              f"-> {payload['overhead_pct']:+.2f}% "
+              f"(limit {payload['overhead_limit_pct']:g}%)")
+        if not payload["overhead_ok"]:
+            print("overhead check FAILED", file=sys.stderr)
+            return 1
+        print("overhead check OK")
+    return 0
+
+
 def sweep_main(argv=None) -> int:
     from repro.experiments.sweeps import scaling_sweep
     from repro.harness import ResultCache, default_jobs, resolve_jobs
@@ -227,6 +354,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.app:
         workload = make_homogeneous_workload(args.app, args.nodes)
@@ -250,6 +379,10 @@ def main(argv=None) -> int:
         topology=args.topology,
         locality=args.locality,
         locality_param=args.locality_param,
+        profile=args.profile,
+        trace=args.trace,
+        trace_sample=args.trace_sample,
+        trace_capacity=args.trace_capacity,
         check_invariants=args.check_invariants,
         watchdog_window=args.watchdog,
         max_flit_age=args.max_flit_age,
@@ -280,6 +413,10 @@ def main(argv=None) -> int:
           f"weighted by node: {result.throughput_per_node:.3f} IPC/node")
     print(f"admission starvation: {result.mean_port_starvation:.3f}   "
           f"worst-case flit latency: {result.max_net_latency} cycles")
+    if result.perf is not None and args.profile:
+        print(f"\nprofile: {result.perf.table()}")
+    if simulator.tracer is not None:
+        print(f"\n{simulator.tracer.summary()}")
     return 0
 
 

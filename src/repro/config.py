@@ -75,6 +75,17 @@ class SimulationConfig:
     # --- power ----------------------------------------------------------
     power: PowerCoefficients = field(default_factory=PowerCoefficients)
 
+    # --- observability (repro.observability) -----------------------------
+    #: attribute wall-clock per simulated phase (PhaseTimer); when off the
+    #: simulator runs its original uninstrumented loop
+    profile: bool = False
+    #: record inject/hop/deflect/eject events for a sampled packet subset
+    trace: bool = False
+    #: fraction of packet identities traced (quantized to 1/65536)
+    trace_sample: float = 1 / 16
+    #: ring-buffer bound on stored trace events (oldest overwritten)
+    trace_capacity: int = 65536
+
     # --- guardrails (repro.guardrails) -----------------------------------
     #: verify the no-drop / eject-width / age-order invariants every cycle
     check_invariants: bool = False
@@ -107,6 +118,10 @@ class SimulationConfig:
             raise ValueError(f"unknown network {self.network!r}")
         if self.epoch < 1:
             raise ValueError("epoch must be positive")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must lie in [0, 1]")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be positive")
         if self.watchdog_window < 0:
             raise ValueError("watchdog_window must be >= 0 (0 disables it)")
         if self.max_flit_age < 0:

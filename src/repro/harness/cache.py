@@ -107,7 +107,14 @@ class ResultCache:
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                # allow_nan=False: entries must be strict RFC-8259 JSON.
+                # Python's json would otherwise emit Infinity/NaN (e.g.
+                # ipf=inf for inactive nodes), which strict parsers and
+                # cross-tool consumers reject; SimulationResult.to_dict
+                # encodes non-finite floats as null instead, and this
+                # flag guarantees the corruption class cannot silently
+                # come back.
+                json.dump(payload, handle, allow_nan=False)
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -120,6 +120,32 @@ class JobSpec:
             **kw,
         )
 
+    def with_config(self, **overrides) -> "JobSpec":
+        """A copy with extra/overridden config scalars merged in.
+
+        The observability switches ride through here — e.g.
+        ``spec.with_config(profile=True)`` produces a spec whose runs
+        attach :class:`~repro.observability.PerfCounters` to their
+        results (and whose content hash differs, so profiled and plain
+        results never share a cache entry).
+        """
+        merged = dict(self.config)
+        merged.update(overrides)
+        return JobSpec(
+            app_names=self.app_names,
+            cycles=self.cycles,
+            seed=self.seed,
+            epoch=self.epoch,
+            controller=self.controller,
+            network=self.network,
+            topology=self.topology,
+            locality=self.locality,
+            locality_param=self.locality_param,
+            category=self.category,
+            config=tuple(sorted(merged.items())),
+            deadline=self.deadline,
+        )
+
     @property
     def workload(self) -> Workload:
         return Workload(self.app_names, category=self.category)

@@ -16,7 +16,15 @@ __all__ = ["EpochSeries"]
 
 
 class EpochSeries:
-    """Append-only named series sampled once per epoch."""
+    """Append-only named series sampled once per epoch.
+
+    Alignment invariant: every series always has exactly one sample per
+    recorded epoch (``len(series[name]) == len(series)``).  A series
+    first recorded mid-run is backfilled with NaN for the epochs it
+    missed, and a series omitted from an :meth:`append` is padded with
+    NaN — without this, a late-appearing series would silently misalign
+    with ``cycles`` and index off-by-many in the temporal figures.
+    """
 
     def __init__(self):
         self._data: Dict[str, List[float]] = {}
@@ -24,8 +32,15 @@ class EpochSeries:
 
     def append(self, cycle: int, **samples: float) -> None:
         self.cycles.append(cycle)
+        n = len(self.cycles)
         for name, value in samples.items():
-            self._data.setdefault(name, []).append(float(value))
+            column = self._data.setdefault(name, [])
+            if len(column) < n - 1:  # first recorded mid-run: backfill
+                column.extend([float("nan")] * (n - 1 - len(column)))
+            column.append(float(value))
+        for column in self._data.values():  # omitted this epoch: pad
+            if len(column) < n:
+                column.append(float("nan"))
 
     def __getitem__(self, name: str) -> np.ndarray:
         if name not in self._data:
@@ -43,20 +58,38 @@ class EpochSeries:
     def __eq__(self, other) -> bool:
         if not isinstance(other, EpochSeries):
             return NotImplemented
-        return self.cycles == other.cycles and self._data == other._data
+        if self.cycles != other.cycles or set(self._data) != set(other._data):
+            return False
+        # NaN-aware: backfilled samples must compare equal to themselves.
+        return all(
+            np.array_equal(
+                np.asarray(column, dtype=float),
+                np.asarray(other._data[name], dtype=float),
+                equal_nan=True,
+            )
+            for name, column in self._data.items()
+        )
 
     # ------------------------------------------------------------------
     # Lossless round-trip (harness result cache)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {"cycles": list(self.cycles), "series": dict(self._data)}
+        """JSON-compatible dict; NaN backfill encodes as ``None`` so the
+        payload stays strict RFC-8259 (``allow_nan=False`` safe)."""
+        return {
+            "cycles": list(self.cycles),
+            "series": {
+                name: [None if v != v else v for v in column]
+                for name, column in self._data.items()
+            },
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "EpochSeries":
         out = cls()
         out.cycles = [int(c) for c in data["cycles"]]
         out._data = {
-            name: [float(v) for v in values]
+            name: [float("nan") if v is None else float(v) for v in values]
             for name, values in data["series"].items()
         }
         return out

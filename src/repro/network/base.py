@@ -154,6 +154,10 @@ class NocModel:
         # Distributed controller support: nodes currently asserting the
         # congestion bit on passing flits (§6.6); unused otherwise.
         self.congested_nodes = np.zeros(self.num_nodes, dtype=bool)
+        # Sampled flit-event tracing (repro.observability.FlitTracer);
+        # installed by the simulator when tracing is enabled.  A None
+        # tracer costs one branch per step section.
+        self.tracer = None
 
     def _sanitize_dest(self, dest: np.ndarray) -> np.ndarray:
         """Re-stripe destinations that target fail-stopped routers.

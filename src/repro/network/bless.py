@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.network.base import EjectedFlits, NocModel
+from repro.observability.tracer import EV_DEFLECT, EV_EJECT, EV_HOP, EV_INJECT
 from repro.network.flit import (
     CBIT_MASK,
     HOP_ONE,
@@ -241,6 +242,13 @@ class BlessNetwork(NocModel):
                 choice = np.where(good.any(axis=1), np.argmax(good, axis=1), -1)
             missing = choice < 0
             if missing.any():
+                if self.tracer is not None:
+                    md = meta[rows, c][missing]
+                    self.tracer.record(
+                        EV_DEFLECT, cycle, rows[missing], meta_src(md),
+                        meta_dest(md), meta_kind(md), meta_seq(md),
+                        meta_hops(md),
+                    )
                 # Deflect to the first free link; one always exists
                 # because a router has >= as many healthy links as routed
                 # flits (faults fail both directions of a link together).
@@ -288,10 +296,22 @@ class BlessNetwork(NocModel):
         self._ring_meta[send_slot, idx] = out_meta[moving]
         self._ring_birth[send_slot, idx] = out_birth[moving]
         self.stats.flit_hops += idx.size
+        if self.tracer is not None and idx.size:
+            hop_rows = np.nonzero(moving)[0]
+            hm = out_meta[moving]
+            self.tracer.record(
+                EV_HOP, cycle, hop_rows, meta_src(hm), meta_dest(hm),
+                meta_kind(hm), meta_seq(hm), meta_hops(hm),
+            )
 
         if ej_parts:
             rows = np.concatenate([r for r, _ in ej_parts])
             m = np.concatenate([mm for _, mm in ej_parts])
+            if self.tracer is not None:
+                self.tracer.record(
+                    EV_EJECT, cycle, rows, meta_src(m), rows,
+                    meta_kind(m), meta_seq(m), meta_hops(m),
+                )
             ejected = EjectedFlits(
                 rows, meta_src(m), meta_kind(m), meta_seq(m),
                 meta_cbit(m).astype(bool),
@@ -326,6 +346,10 @@ class BlessNetwork(NocModel):
                 np.argmax(free, axis=1),
             )
         avail[nodes, port] = False
+        if self.tracer is not None:
+            self.tracer.record(
+                EV_INJECT, cycle, nodes, nodes, dest, kind, seq, 0
+            )
         # The first traversal completes upon arrival at the neighbor.
         out_meta[nodes, port] = pack_meta(dest, nodes, kind, seq) + HOP_ONE
         out_birth[nodes, port] = cycle

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.network.base import EjectedFlits, NocModel
+from repro.observability.tracer import EV_EJECT, EV_HOP, EV_INJECT
 from repro.network.flit import (
     CBIT_MASK,
     HOP_ONE,
@@ -189,6 +190,11 @@ class BufferedNetwork(NocModel):
                 self.stats.latency_max = max(self.stats.latency_max, int(lat.max()))
                 self.stats.record_latencies(lat)
                 self.stats.hops_sum += int(meta_hops(meta).sum())
+                if self.tracer is not None:
+                    self.tracer.record(
+                        EV_EJECT, cycle, rows, meta_src(meta), rows,
+                        meta_kind(meta), meta_seq(meta), meta_hops(meta),
+                    )
                 ejected = EjectedFlits(
                     rows, meta_src(meta), meta_kind(meta), meta_seq(meta),
                     meta_cbit(meta).astype(bool),
@@ -220,6 +226,11 @@ class BufferedNetwork(NocModel):
             self._ring_birth[send_slot, idx] = birth
             self.reserved[down, down_port] += 1
             self.stats.flit_hops += rows.size
+            if self.tracer is not None:
+                self.tracer.record(
+                    EV_HOP, cycle, rows, meta_src(meta), meta_dest(meta),
+                    meta_kind(meta), meta_seq(meta), meta_hops(meta),
+                )
 
         # --- Injection through the NI input buffer -----------------------
         ni_space = self.buffers.count[:, _NI_PORT] < self.buffer_capacity
@@ -239,6 +250,10 @@ class BufferedNetwork(NocModel):
         if nodes.size == 0:
             return
         dest, kind, seq, _stamp, _ = queue.take_flit(nodes)
+        if self.tracer is not None:
+            self.tracer.record(
+                EV_INJECT, cycle, nodes, nodes, dest, kind, seq, 0
+            )
         ports = np.full(nodes.shape, _NI_PORT, dtype=np.int64)
         self.buffers.push(
             nodes, ports,

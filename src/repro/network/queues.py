@@ -101,6 +101,38 @@ class FlitQueueArray:
         self.count[accepted] += 1
         return ok
 
+    def push_burst(self, node: int, dest: np.ndarray, kind, flits,
+                   stamp=0, seq=0) -> int:
+        """Enqueue up to ``len(dest)`` entries into *one* node's queue.
+
+        Entries are appended in order until the queue is full; because
+        they all target the same queue, stopping at the first rejected
+        entry is identical to accepting exactly the remaining-capacity
+        prefix.  Returns the number of entries accepted.  (This is the
+        hub's per-epoch rate-update burst in
+        :meth:`~repro.sim.Simulator._inject_control_traffic`.)
+        """
+        dest = np.asarray(dest, dtype=np.int64)
+        space = int(self.capacity - self.count[node])
+        k = min(dest.size, max(space, 0))
+        if k == 0:
+            return 0
+        slots = (self.head[node] + self.count[node]
+                 + np.arange(k, dtype=np.int64)) % self.capacity
+        for field, value in (
+            (self.dest, dest),
+            (self.kind, kind),
+            (self.flits, flits),
+            (self.stamp, stamp),
+            (self.seq, seq),
+        ):
+            if np.ndim(value) == 0:
+                field[node, slots] = value
+            else:
+                field[node, slots] = np.asarray(value)[:k]
+        self.count[node] += k
+        return k
+
     def peek(self, nodes: np.ndarray):
         """Head-entry ``(dest, kind)`` for each node in *nodes*.
 

@@ -1,0 +1,102 @@
+"""Machine-readable performance counters for one simulation run.
+
+``PerfCounters`` is the lossless snapshot the observability layer
+exports on :class:`~repro.sim.results.SimulationResult` (only when
+profiling or tracing was enabled — the counters carry wall-clock times,
+which are inherently nondeterministic, so default runs stay bit-exact
+reproducible).  The ``python -m repro profile`` command serializes one
+into ``BENCH_pr3.json`` as the repo's perf baseline, and
+:meth:`~repro.harness.HarnessReport.perf_summary` aggregates them across
+a process pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Wall-clock throughput and phase attribution for one run."""
+
+    wall_seconds: float = 0.0
+    cycles: int = 0
+    injected_flits: int = 0
+    ejected_flits: int = 0
+    #: seconds attributed per phase; empty when profiling was off
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    trace_events: int = 0
+    trace_dropped: int = 0
+
+    @property
+    def cycles_per_sec(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_seconds
+
+    @property
+    def flits_per_sec(self) -> float:
+        """Delivered-flit throughput (ejections per wall second)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.ejected_flits / self.wall_seconds
+
+    def phase_shares(self) -> Dict[str, float]:
+        total = sum(self.phase_seconds.values())
+        if total <= 0.0:
+            return {name: 0.0 for name in self.phase_seconds}
+        return {n: s / total for n, s in self.phase_seconds.items()}
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (all values finite) for the result cache."""
+        return {
+            "wall_seconds": float(self.wall_seconds),
+            "cycles": int(self.cycles),
+            "injected_flits": int(self.injected_flits),
+            "ejected_flits": int(self.ejected_flits),
+            "cycles_per_sec": float(self.cycles_per_sec),
+            "flits_per_sec": float(self.flits_per_sec),
+            "phase_seconds": {
+                name: float(secs) for name, secs in self.phase_seconds.items()
+            },
+            "phase_shares": self.phase_shares(),
+            "trace_events": int(self.trace_events),
+            "trace_dropped": int(self.trace_dropped),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerfCounters":
+        return cls(
+            wall_seconds=data["wall_seconds"],
+            cycles=data["cycles"],
+            injected_flits=data["injected_flits"],
+            ejected_flits=data["ejected_flits"],
+            phase_seconds=dict(data["phase_seconds"]),
+            trace_events=data["trace_events"],
+            trace_dropped=data["trace_dropped"],
+        )
+
+    def table(self) -> str:
+        """Per-phase wall-clock table plus the throughput headline."""
+        shares = self.phase_shares()
+        lines = [
+            f"wall {self.wall_seconds:.3f}s  "
+            f"{self.cycles_per_sec:,.0f} cycles/s  "
+            f"{self.flits_per_sec:,.0f} flits/s"
+        ]
+        if self.phase_seconds:
+            lines.append(f"{'phase':<10} {'seconds':>10} {'share':>8}")
+            for name, secs in sorted(
+                self.phase_seconds.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"{name:<10} {secs:>10.4f} {shares[name]:>7.1%}")
+        if self.trace_events:
+            lines.append(
+                f"trace: {self.trace_events} events "
+                f"({self.trace_dropped} dropped)"
+            )
+        return "\n".join(lines)

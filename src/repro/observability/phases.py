@@ -1,0 +1,58 @@
+"""Per-phase wall-clock attribution for the simulator's cycle loop.
+
+The simulator's per-cycle order of operations (see
+:mod:`repro.sim.simulator`) maps onto six phases.  When profiling is
+enabled the run loop calls :meth:`PhaseTimer.begin_cycle` once and
+:meth:`PhaseTimer.lap` after each phase, so the cost of the timer itself
+is a handful of ``perf_counter`` calls per cycle; when profiling is
+disabled the simulator takes its original uninstrumented loop and the
+timer never exists at all.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["PHASES", "PhaseTimer"]
+
+#: The simulator's phases, in per-cycle execution order.
+PHASES = ("behavior", "cores", "memory", "network", "ejection", "epoch")
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds into named simulation phases."""
+
+    def __init__(self):
+        self.seconds = {name: 0.0 for name in PHASES}
+        self._mark = 0.0
+
+    def begin_cycle(self) -> None:
+        """Start timing; the next :meth:`lap` measures from here."""
+        self._mark = perf_counter()
+
+    def lap(self, phase: str) -> None:
+        """Charge the time since the previous mark to *phase*."""
+        now = perf_counter()
+        self.seconds[phase] += now - self._mark
+        self._mark = now
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def shares(self) -> dict:
+        """Fraction of attributed time per phase (sums to 1 when any)."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return {name: 0.0 for name in self.seconds}
+        return {name: secs / total for name, secs in self.seconds.items()}
+
+    def table(self) -> str:
+        """Human-readable per-phase breakdown, widest share first."""
+        shares = self.shares()
+        rows = sorted(self.seconds.items(), key=lambda kv: -kv[1])
+        lines = [f"{'phase':<10} {'seconds':>10} {'share':>8}"]
+        for name, secs in rows:
+            lines.append(f"{name:<10} {secs:>10.4f} {shares[name]:>7.1%}")
+        lines.append(f"{'total':<10} {self.total_seconds:>10.4f} {'100.0%':>8}")
+        return "\n".join(lines)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.guardrails.report import GuardrailReport
 from repro.metrics.collectors import EpochSeries
+from repro.observability.counters import PerfCounters
 from repro.power.model import PowerReport
 
 __all__ = ["SimulationResult", "RESULT_SCHEMA_VERSION"]
@@ -22,7 +23,9 @@ __all__ = ["SimulationResult", "RESULT_SCHEMA_VERSION"]
 #: Bump whenever the serialized layout of :meth:`SimulationResult.to_dict`
 #: changes shape or meaning; the on-disk result cache keys on it so stale
 #: entries are never deserialized into a new schema.
-RESULT_SCHEMA_VERSION = 1
+#: 2: non-finite floats encode as ``null`` (strict RFC-8259 JSON) and the
+#: optional ``perf`` counters snapshot joined the layout.
+RESULT_SCHEMA_VERSION = 2
 
 _ARRAY_FIELDS = {
     "ipc": float,
@@ -31,6 +34,32 @@ _ARRAY_FIELDS = {
     "starvation_rate": float,
     "port_starvation_rate": float,
 }
+
+#: What a serialized ``null`` in each float array restores to.  ``ipf``
+#: is the only field with a non-finite producer: inactive nodes issue no
+#: flits, so their instructions-per-flit is +inf by definition
+#: (``repro.sim.simulator._result``).  Any other null reads back as NaN.
+_NULL_RESTORE = {"ipf": np.inf}
+
+
+def _encode_float_list(values: np.ndarray) -> list:
+    """Float array -> JSON list with non-finite entries as ``None``.
+
+    ``json.dump`` would otherwise emit ``Infinity``/``NaN``, which are
+    not RFC-8259 JSON and break strict parsers (and therefore every
+    cross-tool consumer of the result cache).
+    """
+    finite = np.isfinite(values)
+    if finite.all():
+        return values.tolist()
+    return [float(v) if ok else None for v, ok in zip(values, finite)]
+
+
+def _decode_float_list(values: list, null_value: float) -> np.ndarray:
+    """Restore a list written by :func:`_encode_float_list`."""
+    return np.asarray(
+        [null_value if v is None else v for v in values], dtype=float
+    )
 
 
 @dataclass
@@ -59,6 +88,10 @@ class SimulationResult:
     latency_hist: np.ndarray = None
     in_flight_flits: int = 0  # still in the network at run end
     guardrails: object = None  # GuardrailReport (None for hand-built results)
+    #: PerfCounters when profiling/tracing was enabled, else None — perf
+    #: counters carry wall-clock time, so default runs omit them to keep
+    #: results bit-identical across serial/parallel/cached execution
+    perf: object = None
 
     def latency_percentile(self, p: float) -> int:
         """The *p*-th percentile (0-100) of delivered-flit latency.
@@ -116,8 +149,10 @@ class SimulationResult:
 
         Floats serialize via ``repr`` under ``json.dumps`` (shortest
         round-trip representation), so a dict -> JSON -> dict cycle is
-        bit-identical; ``inf`` entries in ``ipf`` rely on the Python
-        ``json`` module's non-strict ``Infinity`` handling.
+        bit-identical.  Non-finite entries (inactive nodes' ``ipf`` is
+        +inf) encode as ``None`` so the payload is strict RFC-8259 JSON
+        — ``json.dumps(..., allow_nan=False)`` never raises — and
+        :meth:`from_dict` restores them via ``_NULL_RESTORE``.
         """
         out = {
             "schema": RESULT_SCHEMA_VERSION,
@@ -146,9 +181,13 @@ class SimulationResult:
                 if self.latency_hist is None
                 else np.asarray(self.latency_hist, dtype=np.int64).tolist()
             ),
+            "perf": None if self.perf is None else self.perf.to_dict(),
         }
         for name, kind in _ARRAY_FIELDS.items():
-            out[name] = np.asarray(getattr(self, name)).astype(kind).tolist()
+            values = np.asarray(getattr(self, name)).astype(kind)
+            out[name] = (
+                _encode_float_list(values) if kind is float else values.tolist()
+            )
         return out
 
     @classmethod
@@ -161,11 +200,16 @@ class SimulationResult:
                 "(stale serialization)"
             )
         arrays = {
-            name: np.asarray(data[name], dtype=kind)
+            name: (
+                _decode_float_list(data[name], _NULL_RESTORE.get(name, np.nan))
+                if kind is float
+                else np.asarray(data[name], dtype=kind)
+            )
             for name, kind in _ARRAY_FIELDS.items()
         }
         hist = data["latency_hist"]
         guard = data["guardrails"]
+        perf = data["perf"]
         return cls(
             cycles=data["cycles"],
             num_nodes=data["num_nodes"],
@@ -184,6 +228,7 @@ class SimulationResult:
             latency_hist=(
                 None if hist is None else np.asarray(hist, dtype=np.int64)
             ),
+            perf=None if perf is None else PerfCounters.from_dict(perf),
             **arrays,
         )
 

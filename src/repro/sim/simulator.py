@@ -38,6 +38,7 @@ from repro.metrics.collectors import EpochSeries
 from repro.network.bless import BlessNetwork
 from repro.network.buffered import BufferedNetwork
 from repro.network.flit import FLIT_CONTROL, FLIT_REPLY, FLIT_REQUEST
+from repro.observability import FlitTracer, PerfCounters, PhaseTimer
 from repro.power.model import PowerModel
 from repro.rng import child_rng
 from repro.sim.results import SimulationResult
@@ -111,6 +112,20 @@ class Simulator:
                 queue_capacity=config.queue_capacity,
                 fault_model=self.fault_model,
             )
+        # Observability (repro.observability): both layers default off,
+        # in which case the run loop stays uninstrumented and the only
+        # residual cost is a handful of is-None branches.
+        self.phase_timer = PhaseTimer() if config.profile else None
+        self.tracer = None
+        if config.trace:
+            salt = int(child_rng(config.seed, "trace").integers(0, 2**63))
+            self.tracer = FlitTracer(
+                capacity=config.trace_capacity,
+                sample=config.trace_sample,
+                salt=salt,
+            )
+            self.network.tracer = self.tracer
+        self._wall_seconds = 0.0
         self.checker = (
             InvariantChecker(self.network) if config.check_invariants else None
         )
@@ -177,6 +192,18 @@ class Simulator:
         start_time = time.monotonic() if deadline is not None else 0.0
         end = self.cycle + cycles
         observe = self.controller.observes_ejections
+        wall_start = time.perf_counter()
+        try:
+            if self.phase_timer is None:
+                self._run_plain(end, epoch, observe, deadline, start_time)
+            else:
+                self._run_profiled(end, epoch, observe, deadline, start_time)
+        finally:
+            self._wall_seconds += time.perf_counter() - wall_start
+        return self._result()
+
+    def _run_plain(self, end, epoch, observe, deadline, start_time) -> None:
+        """The uninstrumented hot loop (profiling off)."""
         while self.cycle < end:
             c = self.cycle
             if deadline is not None and c % 256 == 0:
@@ -206,7 +233,53 @@ class Simulator:
             self.cycle += 1
             if self.cycle % epoch == 0:
                 self._run_epoch()
-        return self._result()
+
+    def _run_profiled(self, end, epoch, observe, deadline, start_time) -> None:
+        """The same loop as :meth:`_run_plain` with PhaseTimer laps.
+
+        Kept as a deliberate duplicate rather than a single loop with
+        conditional timing: the plain path must not pay even the branch
+        cost of disabled instrumentation (the <2% disabled-overhead
+        budget is an acceptance criterion).  Any change to the cycle
+        order of operations must be mirrored in both loops.
+        """
+        timer = self.phase_timer
+        while self.cycle < end:
+            c = self.cycle
+            if deadline is not None and c % 256 == 0:
+                elapsed = time.monotonic() - start_time
+                if elapsed > deadline:
+                    raise SimulationTimeout(c, elapsed, deadline)
+            timer.begin_cycle()
+            self.behavior.tick(self._rng_phase)
+            timer.lap("behavior")
+            self.cores.step(c)
+            timer.lap("cores")
+            self.memory.step(c)
+            timer.lap("memory")
+            ejected = self.network.step(c)
+            timer.lap("network")
+            if self.checker is not None:
+                self.checker.after_step(c, ejected)
+            if self.watchdog is not None:
+                self.watchdog.after_step(c, self.network)
+            if ejected.node.size:
+                kind = ejected.kind
+                req = kind == FLIT_REQUEST
+                if req.any():
+                    self.memory.on_requests(
+                        ejected.node[req], ejected.src[req], ejected.seq[req]
+                    )
+                rep = kind == FLIT_REPLY
+                if rep.any():
+                    self.cores.on_reply_flits(ejected.node[rep], ejected.seq[rep])
+                if observe:
+                    self.controller.on_ejected(ejected)
+            timer.lap("ejection")
+            self.cycle += 1
+            if self.cycle % epoch == 0:
+                self._run_epoch()
+                timer.lap("epoch")
 
     # ------------------------------------------------------------------
     def _run_epoch(self) -> None:
@@ -262,19 +335,14 @@ class Simulator:
                 nodes, hub_dest, FLIT_CONTROL, 1, stamp=self.cycle
             )
             self.control_flits_sent += int(ok.sum())
-            # Hub -> node updates: pushed one per cycle by capacity; model
-            # as a burst bounded by the hub's queue space.
-            for node in nodes:
-                ok = net.response_queue.push(
-                    np.array([self.hub]),
-                    np.array([node]),
-                    FLIT_CONTROL,
-                    1,
-                    stamp=self.cycle,
-                )
-                if not ok[0]:
-                    break
-                self.control_flits_sent += 1
+            # Hub -> node updates: a burst into the hub's queue bounded
+            # by its remaining space.  All entries target the same queue,
+            # so "stop at the first overflow" is exactly "accept the
+            # first free-space-many" — one vectorized push instead of
+            # ~n single-entry pushes per epoch.
+            self.control_flits_sent += net.response_queue.push_burst(
+                self.hub, nodes, FLIT_CONTROL, 1, stamp=self.cycle
+            )
 
     # ------------------------------------------------------------------
     def _result(self) -> SimulationResult:
@@ -314,6 +382,24 @@ class Simulator:
                 else 0.0
             ),
         )
+        # Perf counters only exist when an observability layer ran: they
+        # carry wall-clock times, which would break the bit-identical
+        # serial/parallel/cache guarantees of default runs.
+        perf = None
+        if self.phase_timer is not None or self.tracer is not None:
+            perf = PerfCounters(
+                wall_seconds=self._wall_seconds,
+                cycles=self.cycle,
+                injected_flits=stats.injected_flits,
+                ejected_flits=stats.ejected_flits,
+                phase_seconds=(
+                    dict(self.phase_timer.seconds)
+                    if self.phase_timer is not None
+                    else {}
+                ),
+                trace_events=self.tracer.recorded if self.tracer else 0,
+                trace_dropped=self.tracer.dropped if self.tracer else 0,
+            )
         return SimulationResult(
             cycles=self.cycle,
             num_nodes=self.topology.num_nodes,
@@ -335,4 +421,5 @@ class Simulator:
             latency_hist=stats.latency_hist.copy(),
             in_flight_flits=self.network.in_flight_flits(),
             guardrails=guardrails,
+            perf=perf,
         )

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.__main__ import build_parser, build_sweep_parser, main
+import json
+
+from repro.__main__ import (
+    build_parser,
+    build_profile_parser,
+    build_sweep_parser,
+    main,
+)
 
 
 class TestParser:
@@ -95,6 +102,70 @@ class TestSweepSubcommand:
         rc = main(["sweep", "--sizes", "16", "--networks", "wormhole",
                    "--no-progress"])
         assert rc == 2
+
+
+class TestObservabilityFlags:
+    def test_profile_run_prints_phase_table(self, capsys):
+        rc = main(["--cycles", "1200", "--epoch", "400", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "network" in out and "cycles/s" in out
+
+    def test_trace_run_prints_trace_summary(self, capsys):
+        rc = main(["--cycles", "1200", "--epoch", "400", "--trace",
+                   "--trace-sample", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "inject" in out and "eject" in out
+
+    def test_default_run_prints_no_observability(self, capsys):
+        rc = main(["--cycles", "1200", "--epoch", "400"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile:" not in out
+        assert "trace:" not in out
+
+
+class TestProfileSubcommand:
+    def test_profile_parser_defaults(self):
+        args = build_profile_parser().parse_args([])
+        assert args.nodes == 64
+        assert args.cycles == 20_000
+        assert args.out == "BENCH_pr3.json"
+        assert args.overhead_check is None
+
+    def test_profile_writes_bench_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["profile", "--nodes", "16", "--cycles", "600",
+                   "--epoch", "300", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "cycles/s" in text and "phase" in text
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "pr3-observability"
+        assert payload["cycles_per_sec"] > 0
+        assert payload["config"]["nodes"] == 16
+
+    def test_profile_trace_and_no_file(self, capsys):
+        rc = main(["profile", "--nodes", "16", "--cycles", "600",
+                   "--epoch", "300", "--trace", "--out", "-"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "wrote" not in out
+
+    def test_profile_overhead_gate_pass_and_fail(self, tmp_path, capsys):
+        base = ["profile", "--nodes", "16", "--cycles", "500",
+                "--epoch", "250", "--repeats", "1",
+                "--out", str(tmp_path / "b.json")]
+        # A generous limit always passes...
+        assert main(base + ["--overhead-check", "1000"]) == 0
+        assert "overhead check OK" in capsys.readouterr().out
+        # ...and an impossible (negative) limit always fails with exit 1.
+        assert main(base + ["--overhead-check", "-1000"]) == 1
+        assert "overhead check FAILED" in capsys.readouterr().err
 
 
 class TestGuardrailFlags:

@@ -96,6 +96,15 @@ class TestJobSpec:
         assert spec.config == (("mshr_limit", 8),)
         assert spec.category == "H"
 
+    def test_with_config_merges_and_rehashes(self):
+        base = small_spec(config=(("mshr_limit", 8),))
+        profiled = base.with_config(profile=True)
+        assert profiled.config == (("mshr_limit", 8), ("profile", True))
+        assert profiled.content_hash() != base.content_hash()
+        # Overriding an existing scalar replaces it, everything else kept.
+        assert base.with_config(mshr_limit=4).config == (("mshr_limit", 4),)
+        assert base.with_config(mshr_limit=8) == base
+
     def test_run_job_matches_run_workload(self):
         from repro.experiments.runner import run_workload
         from repro.traffic.workloads import make_homogeneous_workload
@@ -118,14 +127,19 @@ class TestResultRoundtrip:
         assert clone.guardrails == res.guardrails
         assert clone.power == res.power
 
-    def test_roundtrip_survives_json_and_inf(self):
-        # Idle nodes have ipf = inf; the json module's non-strict mode
-        # must carry it through unchanged.
+    def test_roundtrip_survives_strict_json_and_inf(self):
+        # Idle nodes have ipf = inf.  The serialized form must be strict
+        # RFC-8259 JSON (allow_nan=False must not raise), encoding the
+        # non-finite entries as null and restoring them losslessly.
         spec = small_spec(app_names=("mcf", None) * 8)
         res = run_job(spec)
         assert np.isinf(res.ipf).any()
-        clone = SimulationResult.from_dict(json.loads(json.dumps(res.to_dict())))
+        text = json.dumps(res.to_dict(), allow_nan=False)
+        assert "Infinity" not in text and "NaN" not in text
+        clone = SimulationResult.from_dict(json.loads(text))
         assert results_equal(res, clone)
+        assert np.isinf(clone.ipf).any()
+        np.testing.assert_array_equal(res.ipf, clone.ipf)
 
     def test_result_is_picklable(self):
         # The old closure field made results unpicklable, which forbade
@@ -202,6 +216,26 @@ class TestResultCache:
         cache.path(spec).write_text(json.dumps(payload))
         assert cache.get(spec) is None
 
+    def test_inactive_nodes_roundtrip_as_strict_json(self, tmp_path):
+        """Regression: a run with idle nodes has ipf = inf, which the
+        json module used to serialize as the non-RFC literal ``Infinity``
+        — corrupting the on-disk entry for any strict parser.  The cache
+        now writes with ``allow_nan=False`` and the entry must both parse
+        strictly and restore the infinities exactly."""
+        cache = ResultCache(tmp_path)
+        spec = small_spec(app_names=("mcf", None) * 8)
+        res = run_job(spec)
+        assert np.isinf(res.ipf).any()
+        path = cache.put(spec, res)
+        text = path.read_text()
+        assert "Infinity" not in text and "NaN" not in text
+        json.loads(text, parse_constant=lambda name: pytest.fail(
+            f"non-RFC JSON constant {name!r} in cache entry"
+        ))
+        hit = cache.get(spec)
+        assert results_equal(hit, res)
+        np.testing.assert_array_equal(hit.ipf, res.ipf)
+
 
 class TestRunJobs:
     def test_results_align_with_specs(self, tmp_path):
@@ -274,6 +308,45 @@ class TestRunJobs:
         # cache=False forces caching off even with the env var set.
         run_jobs([small_spec(seed=9)], jobs=1, cache=False)
         assert len(ResultCache(tmp_path)) == 1
+
+
+class TestPerfSummary:
+    def test_aggregates_executed_jobs(self, tmp_path):
+        specs = [small_spec(seed=s).with_config(profile=True) for s in (1, 2)]
+        report = run_jobs(specs, jobs=1, cache=tmp_path)
+        summary = report.perf_summary()
+        assert summary["jobs"] == 2 and summary["executed"] == 2
+        assert summary["cache_hit_rate"] == 0.0
+        assert summary["sim_cycles"] == 2 * 1200
+        assert summary["sim_flits"] > 0
+        assert summary["cycles_per_sec"] > 0
+        # Profiled specs contribute their phase attribution.
+        assert summary["phase_seconds"]["network"] > 0
+        assert sum(summary["phase_shares"].values()) == pytest.approx(1.0)
+
+        # A warm re-run is all cache hits: no simulation time to report.
+        warm = run_jobs(specs, jobs=1, cache=tmp_path).perf_summary()
+        assert warm["cache_hit_rate"] == 1.0
+        assert warm["executed"] == 0
+        assert warm["sim_cycles"] == 0 and warm["cycles_per_sec"] == 0.0
+
+    def test_unprofiled_jobs_report_no_phases(self):
+        report = run_jobs([small_spec()], jobs=1, cache=False)
+        summary = report.perf_summary()
+        assert summary["phase_seconds"] == {}
+        assert summary["phase_shares"] == {}
+        assert summary["sim_cycles"] == 1200
+
+    def test_profiled_spec_result_carries_perf(self, tmp_path):
+        spec = small_spec().with_config(profile=True)
+        report = run_jobs([spec], jobs=1, cache=tmp_path)
+        assert report.results[0].perf is not None
+        assert report.results[0].perf.cycles == 1200
+        # And the perf snapshot survives the on-disk cache round-trip.
+        warm = run_jobs([spec], jobs=1, cache=tmp_path)
+        assert warm.all_cached
+        assert warm.results[0].perf is not None
+        assert warm.results[0].perf.cycles == 1200
 
 
 class TestParallelDeterminism:

@@ -78,3 +78,38 @@ class TestEpochSeries:
         s = EpochSeries()
         s.append(1, b=1.0, a=2.0)
         assert s.names() == ["a", "b"]
+
+    def test_series_first_recorded_midrun_is_backfilled(self):
+        """Regression: a series that first appears at epoch 3 used to
+        start at index 0, silently misaligning with ``cycles``."""
+        s = EpochSeries()
+        s.append(100, util=0.5)
+        s.append(200, util=0.6)
+        s.append(300, util=0.7, throttle=0.9)  # first appears mid-run
+        assert len(s["throttle"]) == len(s) == 3
+        np.testing.assert_array_equal(
+            np.isnan(s["throttle"]), [True, True, False]
+        )
+        assert s["throttle"][2] == 0.9
+        np.testing.assert_allclose(s["util"], [0.5, 0.6, 0.7])
+
+    def test_series_omitted_from_an_epoch_is_padded(self):
+        s = EpochSeries()
+        s.append(100, util=0.5, throttle=0.9)
+        s.append(200, util=0.6)  # throttle omitted this epoch
+        s.append(300, util=0.7, throttle=0.8)
+        np.testing.assert_array_equal(
+            np.isnan(s["throttle"]), [False, True, False]
+        )
+        assert all(len(s[name]) == 3 for name in s.names())
+
+    def test_backfilled_series_roundtrips_strict_json(self):
+        import json
+
+        s = EpochSeries()
+        s.append(100, util=0.5)
+        s.append(200, util=0.6, late=1.0)
+        text = json.dumps(s.to_dict(), allow_nan=False)  # must not raise
+        clone = EpochSeries.from_dict(json.loads(text))
+        assert clone == s
+        np.testing.assert_array_equal(np.isnan(clone["late"]), [True, False])

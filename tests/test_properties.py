@@ -141,6 +141,46 @@ def test_throttle_gate_blocks_requested_fraction(rate, attempts):
     assert abs(allowed / attempts - expected) < tolerance
 
 
+def _blocked_over_full_period(rate: float) -> int:
+    """Blocked attempts over one full 128-attempt counter period."""
+    gate = InjectionThrottleGate(1)
+    gate.set_rates(np.array([rate]))
+    period = InjectionThrottleGate.MAX_COUNT
+    return sum(
+        int(not gate.decide(np.array([True]))[0]) for _ in range(period)
+    )
+
+
+@given(k=st.integers(0, InjectionThrottleGate.MAX_COUNT))
+@settings(max_examples=40, deadline=None)
+def test_throttle_gate_period_is_exact_at_counter_resolution(k):
+    """Boundary pin (Algorithm 3): over one full counter period of a
+    node that tries every cycle, the gate blocks *exactly* the quantized
+    requested fraction — ``ceil(rate * 128)`` attempts, i.e. ``k`` of 128
+    for every representable rate ``k/128``.  This is the deterministic
+    contract the 7-bit hardware counter provides; any off-by-one in the
+    threshold comparison breaks it."""
+    period = InjectionThrottleGate.MAX_COUNT
+    assert _blocked_over_full_period(k / period) == k
+
+
+@given(rate=st.floats(0.0, 1.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_throttle_gate_quantizes_arbitrary_rates_upward(rate):
+    """Rates between counter steps block ``ceil(rate * 128)`` attempts:
+    the counter blocks while strictly below ``rate * 128``."""
+    period = InjectionThrottleGate.MAX_COUNT
+    expected = int(np.ceil(rate * period))
+    assert _blocked_over_full_period(rate) == expected
+
+
+def test_throttle_gate_boundary_rates_pinned():
+    """The ISSUE's explicit boundary table: 0, 1/128, 1/2, 127/128, 1."""
+    for rate, blocked in [(0.0, 0), (1 / 128, 1), (0.5, 64),
+                          (127 / 128, 127), (1.0, 128)]:
+        assert _blocked_over_full_period(rate) == blocked
+
+
 # ---------------------------------------------------------------------------
 # Network conservation under random traffic
 # ---------------------------------------------------------------------------

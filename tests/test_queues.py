@@ -49,6 +49,79 @@ class TestPush:
         np.testing.assert_array_equal(q.nonempty, [False, True, False])
 
 
+class TestPushBurst:
+    def _reference_loop(self, q, node, dests, kind, flits, stamp):
+        """The replaced per-flit loop: push until the first overflow."""
+        accepted = []
+        for dest in dests:
+            if not q.push(np.array([node]), np.array([dest]),
+                          kind, flits, stamp)[0]:
+                break
+            accepted.append(dest)
+        return accepted
+
+    def test_accepts_all_when_space(self):
+        q = FlitQueueArray(4, 8)
+        dests = np.array([3, 1, 2])
+        assert q.push_burst(0, dests, 1, 1, stamp=5) == 3
+        assert q.count[0] == 3
+        for expected in (3, 1, 2):  # FIFO order preserved
+            dest, kind, _, stamp, _ = q.take_flit(np.array([0]))
+            assert dest[0] == expected
+            assert kind[0] == 1
+            assert stamp[0] == 5
+
+    def test_truncates_at_remaining_capacity(self):
+        q = FlitQueueArray(2, 4)
+        _push_one(q, 0, 9)
+        _push_one(q, 0, 9)
+        assert q.push_burst(0, np.arange(5), 0, 1) == 2
+        assert q.count[0] == 4
+
+    def test_full_queue_accepts_nothing(self):
+        q = FlitQueueArray(1, 2)
+        _push_one(q, 0, 9)
+        _push_one(q, 0, 9)
+        assert q.push_burst(0, np.arange(3), 0, 1) == 0
+        assert q.count[0] == 2
+
+    def test_empty_burst(self):
+        q = FlitQueueArray(1, 2)
+        assert q.push_burst(0, np.zeros(0, dtype=np.int64), 0, 1) == 0
+
+    def test_wraps_around_ring(self):
+        q = FlitQueueArray(1, 4)
+        for _ in range(3):  # advance head into the middle of the ring
+            _push_one(q, 0, 9)
+            q.take_flit(np.array([0]))
+        assert q.push_burst(0, np.array([10, 20, 30]), 0, 1) == 3
+        seen = [int(q.take_flit(np.array([0]))[0][0]) for _ in range(3)]
+        assert seen == [10, 20, 30]
+
+    def test_matches_stop_at_first_overflow_loop(self):
+        """The burst is exactly the old sequential semantics: since every
+        entry targets the same queue, stopping at the first overflow is
+        accepting the remaining-capacity prefix."""
+        rng = np.random.default_rng(0)
+        for trial in range(50):
+            capacity = int(rng.integers(1, 8))
+            preload = int(rng.integers(0, capacity + 1))
+            dests = rng.integers(0, 16, size=rng.integers(0, 10))
+            a = FlitQueueArray(2, capacity)
+            b = FlitQueueArray(2, capacity)
+            for _ in range(preload):
+                _push_one(a, 0, 99)
+                _push_one(b, 0, 99)
+            expected = self._reference_loop(b, 0, dests, 0, 1, stamp=7)
+            assert a.push_burst(0, dests, 0, 1, stamp=7) == len(expected)
+            assert a.count[0] == b.count[0]
+            while a.count[0]:
+                da = a.take_flit(np.array([0]))
+                db = b.take_flit(np.array([0]))
+                assert da[0][0] == db[0][0]  # dest
+                assert da[3][0] == db[3][0]  # stamp
+
+
 class TestTakeFlit:
     def test_single_flit_packet_pops(self):
         q = FlitQueueArray(2, 4)

@@ -177,6 +177,66 @@ class TestControlTraffic:
         epochs = 5
         assert sim.control_flits_sent <= 2 * 16 * epochs
 
+    def test_hub_burst_matches_per_flit_loop(self, rng):
+        """The hub's rate-update burst (one vectorized push_burst) must
+        accept exactly the flits the replaced one-at-a-time loop did —
+        same count, same destinations, same queue state."""
+        import copy
+
+        wl = make_category_workload("H", 16, rng)
+        cfg = SimulationConfig(
+            wl, seed=5, epoch=500, model_control_traffic=True,
+            controller=CentralController(ControlParams(epoch=500)),
+        )
+        sim = Simulator(cfg)
+        sim.run(2400)  # land mid-epoch with realistic queue occupancy
+        ref = copy.deepcopy(sim)
+
+        # Reference: the old semantics, one push per hub->node flit,
+        # stopping at the first overflow.
+        nodes = np.flatnonzero(ref.cores.active)
+        nodes = nodes[nodes != ref.hub]
+        queue = ref.network.response_queue
+        ref_sent = int(queue.push(
+            nodes, np.full(nodes.size, ref.hub, dtype=np.int64),
+            FLIT_CONTROL, 1, stamp=ref.cycle,
+        ).sum())
+        for node in nodes:
+            if not queue.push(np.array([ref.hub]), np.array([node]),
+                              FLIT_CONTROL, 1, stamp=ref.cycle)[0]:
+                break
+            ref_sent += 1
+
+        before = sim.control_flits_sent
+        sim._inject_control_traffic()
+        assert sim.control_flits_sent - before == ref_sent
+        real = sim.network.response_queue
+        np.testing.assert_array_equal(real.count, queue.count)
+        np.testing.assert_array_equal(real.head, queue.head)
+        np.testing.assert_array_equal(real.dest, queue.dest)
+        np.testing.assert_array_equal(real.kind, queue.kind)
+        np.testing.assert_array_equal(real.stamp, queue.stamp)
+
+    def test_hub_burst_stops_at_queue_capacity(self, rng):
+        """Overflow path: with the hub's queue nearly full, only the
+        remaining-capacity prefix of rate updates is accepted."""
+        wl = make_category_workload("H", 16, rng)
+        cfg = SimulationConfig(
+            wl, seed=5, epoch=500, model_control_traffic=True,
+            controller=CentralController(ControlParams(epoch=500)),
+        )
+        sim = Simulator(cfg)
+        queue = sim.network.response_queue
+        hub = sim.hub
+        free = 2
+        while queue.count[hub] < queue.capacity - free:
+            queue.push(np.array([hub]), np.array([0]), FLIT_CONTROL, 1)
+        active = np.flatnonzero(sim.cores.active)
+        expected = int((active != hub).sum()) + free  # reports + prefix
+        sim._inject_control_traffic()
+        assert sim.control_flits_sent == expected
+        assert queue.count[hub] == queue.capacity
+
     def test_overhead_is_negligible(self, rng):
         wl = make_category_workload("H", 16, rng)
         _, base = run(wl, cycles=3000,
