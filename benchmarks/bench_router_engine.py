@@ -1,0 +1,173 @@
+"""Router-engine throughput benchmark and regression gate (PR 4).
+
+Measures simulator throughput (cycles/sec, best-of-N) for the bless and
+buffered router models at 8x8 and 16x16, the configurations the
+phase-pipeline + unified-engine refactor must not slow down.  The
+committed ``BENCH_pr4.json`` records the pre-refactor baseline next to
+the post-refactor numbers; CI re-runs the measurement and gates on a
+maximum regression percentage against the committed numbers.
+
+Usage::
+
+    # measure and write a fresh payload
+    PYTHONPATH=src python benchmarks/bench_router_engine.py --out BENCH_pr4.json
+
+    # merge a previously recorded baseline into the payload
+    PYTHONPATH=src python benchmarks/bench_router_engine.py \
+        --baseline bench_pre.json --out BENCH_pr4.json
+
+    # CI gate: fail when any point regresses > 5% vs the committed file
+    PYTHONPATH=src python benchmarks/bench_router_engine.py \
+        --baseline BENCH_pr4.json --check 5 --out -
+
+This is a standalone script, not a pytest benchmark: it times the hot
+loop directly so the numbers are comparable across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+#: (label, nodes, cycles) measurement points; cycle budgets keep a full
+#: sweep under about a minute while staying long enough to amortize
+#: per-run construction cost.
+POINTS = (
+    ("bless-8x8", "bless", 64, 4000),
+    ("bless-16x16", "bless", 256, 1200),
+    ("buffered-8x8", "buffered", 64, 4000),
+    ("buffered-16x16", "buffered", 256, 1200),
+)
+
+BENCH_SCHEMA = 1
+
+
+def _build_simulator(network: str, nodes: int, seed: int):
+    from repro.config import SimulationConfig
+    from repro.sim.simulator import Simulator
+    from repro.traffic.workloads import make_category_workload
+
+    workload = make_category_workload(
+        "H", nodes, np.random.default_rng(seed)
+    )
+    return Simulator(
+        SimulationConfig(workload, seed=seed, epoch=1000, network=network)
+    )
+
+
+def measure(repeats: int = 3, scale: float = 1.0, seed: int = 1) -> dict:
+    """Best-of-``repeats`` cycles/sec for every benchmark point."""
+    points = {}
+    # Warm-up: first construction pays import and numpy caches.
+    _build_simulator("bless", 16, seed).run(500)
+    for label, network, nodes, cycles in POINTS:
+        budget = max(int(cycles * scale), 500)
+        best = 0.0
+        for _ in range(repeats):
+            sim = _build_simulator(network, nodes, seed)
+            start = time.perf_counter()
+            sim.run(budget)
+            best = max(best, budget / (time.perf_counter() - start))
+        points[label] = {
+            "network": network,
+            "nodes": nodes,
+            "cycles": budget,
+            "cycles_per_sec": best,
+        }
+    return points
+
+
+def compare(points: dict, baseline: dict) -> dict:
+    """Per-point regression percentage vs baseline (negative = faster)."""
+    out = {}
+    for label, entry in points.items():
+        base = baseline.get(label)
+        if base is None:
+            continue
+        out[label] = (
+            1.0 - entry["cycles_per_sec"] / base["cycles_per_sec"]
+        ) * 100.0
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr4.json",
+                        help="output JSON path ('-' skips the file)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="prior bench JSON; its points become the payload's baseline "
+             "and the --check reference",
+    )
+    parser.add_argument(
+        "--check", type=float, default=None, metavar="PCT",
+        help="exit 1 when any point regresses more than PCT percent "
+             "versus the baseline",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="cycle-budget multiplier")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    baseline_points = None
+    if args.baseline:
+        data = json.loads(pathlib.Path(args.baseline).read_text("utf-8"))
+        # A prior payload may itself carry a baseline; its *points* are
+        # what this run regresses against.
+        baseline_points = data["points"]
+
+    points = measure(repeats=args.repeats, scale=args.scale, seed=args.seed)
+    payload = {
+        "bench": "pr4-router-engine",
+        "schema": BENCH_SCHEMA,
+        "repeats": args.repeats,
+        "points": points,
+        "baseline_points": baseline_points,
+        "regression_pct": (
+            compare(points, baseline_points) if baseline_points else None
+        ),
+    }
+
+    print(f"{'point':<16} {'cycles/s':>12} {'baseline':>12} {'delta':>8}")
+    for label, entry in points.items():
+        base = (baseline_points or {}).get(label)
+        base_s = f"{base['cycles_per_sec']:>12,.0f}" if base else f"{'-':>12}"
+        delta = payload["regression_pct"] or {}
+        delta_s = f"{-delta[label]:+.1f}%" if label in delta else "-"
+        print(f"{label:<16} {entry['cycles_per_sec']:>12,.0f} "
+              f"{base_s} {delta_s:>8}")
+
+    if args.out != "-":
+        pathlib.Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True,
+                       allow_nan=False) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+
+    if args.check is not None:
+        if not payload["regression_pct"]:
+            print("no baseline to check against", file=sys.stderr)
+            return 2
+        worst_label = max(
+            payload["regression_pct"], key=payload["regression_pct"].get
+        )
+        worst = payload["regression_pct"][worst_label]
+        if worst > args.check:
+            print(f"regression check FAILED: {worst_label} is "
+                  f"{worst:.1f}% slower (limit {args.check:g}%)",
+                  file=sys.stderr)
+            return 1
+        print(f"regression check OK (worst {worst_label}: "
+              f"{worst:+.1f}%, limit {args.check:g}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--epoch", type=int, default=2_000,
                         help="controller/measurement period T")
-    parser.add_argument("--network", choices=("bless", "buffered"),
+    parser.add_argument("--network", choices=("bless", "buffered", "hybrid"),
                         default="bless")
     parser.add_argument("--topology", choices=("mesh", "torus"),
                         default="mesh")
@@ -152,7 +152,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--networks", default="bless,bless-throttling,buffered",
         help="comma-separated variants from "
-        "{bless, bless-throttling, buffered}",
+        "{bless, bless-throttling, buffered, hybrid}",
     )
     parser.add_argument("--cycles", type=int, default=8_000,
                         help="cycle budget per point (default 8000)")
@@ -193,7 +193,7 @@ def build_profile_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cycles", type=int, default=20_000)
     parser.add_argument("--category", choices=WORKLOAD_CATEGORIES,
                         default="H")
-    parser.add_argument("--network", choices=("bless", "buffered"),
+    parser.add_argument("--network", choices=("bless", "buffered", "hybrid"),
                         default="bless")
     parser.add_argument("--topology", choices=("mesh", "torus"),
                         default="mesh")
@@ -289,7 +289,7 @@ def sweep_main(argv=None) -> int:
         print(f"invalid --sizes {args.sizes!r}", file=sys.stderr)
         return 2
     networks = tuple(n for n in args.networks.split(",") if n)
-    known = {"bless", "bless-throttling", "buffered"}
+    known = {"bless", "bless-throttling", "buffered", "hybrid"}
     if not sizes or not networks or set(networks) - known:
         print(f"invalid --sizes/--networks ({args.sizes!r}, "
               f"{args.networks!r})", file=sys.stderr)

@@ -45,12 +45,13 @@ class SimulationConfig:
     topology: str = "mesh"  # "mesh" | "torus"
     width: int = 0  # 0: inferred square from the workload size
     height: int = 0
-    network: str = "bless"  # "bless" | "buffered"
+    network: str = "bless"  # "bless" | "buffered" | "hybrid"
     router_latency: int = 2
     link_latency: int = 1
     eject_width: int = 1
     arbitration: str = "oldest_first"
     buffer_capacity: int = 16  # buffered network: 4 VCs x 4 flits
+    side_buffer_capacity: int = 4  # hybrid network: MinBD-style side buffer
     queue_capacity: int = 64  # NI packet queues (requests / responses)
 
     # --- core / memory (Table 2) --------------------------------------
@@ -114,8 +115,10 @@ class SimulationConfig:
             )
         if self.topology not in ("mesh", "torus"):
             raise ValueError(f"unknown topology {self.topology!r}")
-        if self.network not in ("bless", "buffered"):
+        if self.network not in ("bless", "buffered", "hybrid"):
             raise ValueError(f"unknown network {self.network!r}")
+        if self.side_buffer_capacity < 1:
+            raise ValueError("side_buffer_capacity must be >= 1")
         if self.epoch < 1:
             raise ValueError("epoch must be positive")
         if not 0.0 <= self.trace_sample <= 1.0:

@@ -10,6 +10,7 @@ every delivered flit via :meth:`Controller.on_ejected`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -30,7 +31,7 @@ class EpochView:
     starvation_rate: np.ndarray  # windowed sigma per node
     active: np.ndarray  # nodes running an application
     utilization: float  # network utilization over the epoch
-    epoch_ipc: np.ndarray = None  # per-node IPC over the epoch
+    epoch_ipc: Optional[np.ndarray] = None  # per-node IPC over the epoch
 
 
 class Controller:

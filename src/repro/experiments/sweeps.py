@@ -106,7 +106,7 @@ def scaling_sweep(
                     controller=(
                         ("central",) if name == "bless-throttling" else ("none",)
                     ),
-                    network="buffered" if name == "buffered" else "bless",
+                    network="bless" if name == "bless-throttling" else name,
                     locality=locality,
                     locality_param=locality_param,
                     topology=topology,

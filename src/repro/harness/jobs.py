@@ -29,7 +29,7 @@ import json
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.sim.results import RESULT_SCHEMA_VERSION, SimulationResult
+from repro.sim.results import SimulationResult
 from repro.traffic.workloads import Workload
 
 __all__ = ["JobSpec", "run_job", "CONTROLLER_KINDS"]

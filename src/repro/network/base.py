@@ -8,6 +8,7 @@ subclasses implement one simulated cycle each in :meth:`NocModel.step`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -45,15 +46,18 @@ class NetworkStats:
     deflections: int = 0
     buffer_writes: int = 0
     buffer_reads: int = 0
+    #: sum over cycles of flits held in in-router buffers (occupancy
+    #: integral; divide by cycles for the mean — bufferless models stay 0)
+    buffer_occupancy_sum: int = 0
     latency_sum: int = 0
     latency_count: int = 0
     latency_max: int = 0
     hops_sum: int = 0
-    injected_per_node: np.ndarray = field(default=None)
-    starved_cycles: np.ndarray = field(default=None)
-    port_starved_cycles: np.ndarray = field(default=None)
+    injected_per_node: Optional[np.ndarray] = field(default=None)
+    starved_cycles: Optional[np.ndarray] = field(default=None)
+    port_starved_cycles: Optional[np.ndarray] = field(default=None)
     #: per-flit latency histogram; the last bucket absorbs the tail
-    latency_hist: np.ndarray = field(default=None)
+    latency_hist: Optional[np.ndarray] = field(default=None)
 
     LATENCY_HIST_BUCKETS = 1024
 
@@ -91,6 +95,13 @@ class NetworkStats:
         if self.latency_count == 0:
             return 0.0
         return self.hops_sum / self.latency_count
+
+    @property
+    def avg_buffer_occupancy(self) -> float:
+        """Mean flits held in in-router buffers per cycle (network-wide)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.buffer_occupancy_sum / self.cycles
 
     @property
     def deflection_rate(self) -> float:

@@ -21,36 +21,32 @@ The whole step is vectorized over nodes with flits in the packed
 per-cycle cost is a fixed number of numpy operations regardless of
 network size, which is what makes 64x64 (4096-node) runs tractable in
 Python.
+
+The cycle itself lives in :class:`repro.network.engine.RouterEngine` +
+:class:`~repro.network.engine.DeflectFlowControl`; this class is the
+thin configuration pairing them (see DESIGN.md §S21).
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.network.base import EjectedFlits, NocModel
-from repro.observability.tracer import EV_DEFLECT, EV_EJECT, EV_HOP, EV_INJECT
-from repro.network.flit import (
-    CBIT_MASK,
-    HOP_ONE,
-    meta_cbit,
-    meta_dest,
-    meta_hops,
-    meta_kind,
-    meta_seq,
-    meta_src,
-    pack_meta,
-    priority_key,
+from repro.network.engine import (
+    ARBITRATION_POLICIES as _ARBITRATION_REGISTRY,
+    DeflectFlowControl,
+    RouterEngine,
 )
-from repro.topology.mesh import NUM_PORTS
 
-__all__ = ["BlessNetwork"]
+__all__ = ["ARBITRATION_POLICIES", "BlessNetwork"]
 
-_KEY_MAX = np.iinfo(np.int64).max
+#: Arbitration policy names accepted by ``arbitration=`` (the engine's
+#: registry is the source of truth; kept as a tuple for compatibility).
+ARBITRATION_POLICIES = tuple(_ARBITRATION_REGISTRY)
 
-ARBITRATION_POLICIES = ("oldest_first", "youngest_first", "random")
 
-
-class BlessNetwork(NocModel):
+class BlessNetwork(RouterEngine):
     """Bufferless 2D-mesh/torus network with deflection routing.
 
     Parameters
@@ -75,285 +71,16 @@ class BlessNetwork(NocModel):
         queue_capacity: int = 64,
         starvation_window: int = 128,
         arbitration: str = "oldest_first",
-        rng: np.random.Generator = None,
+        rng: Optional[np.random.Generator] = None,
         fault_model=None,
     ):
-        super().__init__(topology, queue_capacity, starvation_window, fault_model)
-        if arbitration not in ARBITRATION_POLICIES:
-            raise ValueError(f"unknown arbitration policy: {arbitration!r}")
-        if eject_width < 1 or eject_width > NUM_PORTS:
-            raise ValueError("eject_width must be between 1 and 4")
-        if hop_latency < 1:
-            raise ValueError("hop latency must be at least 1 cycle")
-        self.hop_latency = hop_latency
-        self.eject_width = eject_width
-        self.arbitration = arbitration
-        self._rng = rng if rng is not None else np.random.default_rng(0)
-
-        n, p = self.num_nodes, NUM_PORTS
-        # Hop delay ring: flits leaving at cycle t arrive hop_latency
-        # cycles later; links stay pipelined at one flit per cycle.
-        self._ring_meta = np.zeros((hop_latency, n * p), dtype=np.int64)
-        self._ring_birth = np.full((hop_latency, n * p), -1, dtype=np.int64)
-        self._cursor = 0
-        # Static scatter map: flat arrival slot (neighbor, opposite port)
-        # reached through each (node, out port).
-        neighbor = topology.neighbor.astype(np.int64)
-        opp = topology.opposite.astype(np.int64)
-        self._target_flat = np.where(
-            topology.link_exists, neighbor * p + opp[None, :], -1
+        super().__init__(
+            topology,
+            DeflectFlowControl(eject_width=eject_width),
+            hop_latency=hop_latency,
+            queue_capacity=queue_capacity,
+            starvation_window=starvation_window,
+            arbitration=arbitration,
+            rng=rng,
+            fault_model=fault_model,
         )
-        self._node_ids = np.arange(n, dtype=np.int64)
-        self._node_col = self._node_ids[:, None]
-        # With permanent faults, XY-productive can point at a dead link
-        # and the oldest flit would deflect forever (livelock).  Route by
-        # healthy-graph distance instead: a port is productive iff it
-        # strictly decreases the surviving-topology distance to dest.
-        self._dist = None
-        self._neighbor_safe = None
-        if fault_model is not None and (
-            fault_model.num_failed_links or fault_model.num_failed_routers
-        ):
-            self._dist = fault_model.healthy_distance
-            self._neighbor_safe = np.where(topology.link_exists, neighbor, 0)
-        # Scratch output arrays, reused every cycle.
-        self._out_meta = np.zeros((n, p), dtype=np.int64)
-        self._out_birth = np.full((n, p), -1, dtype=np.int64)
-        self._avail = np.zeros((n, p), dtype=bool)
-        self._spare = np.zeros((n, p), dtype=bool)
-        # Injection-queueing latency statistics (time from enqueue at the
-        # NI to entering the network), the paper's "injection latency".
-        self.injection_latency_sum = 0
-        self.injection_latency_count = 0
-
-    # ------------------------------------------------------------------
-    def in_flight_flits(self) -> int:
-        return int((self._ring_birth >= 0).sum())
-
-    def in_flight_view(self):
-        mask = self._ring_birth >= 0
-        return self._ring_meta[mask], self._ring_birth[mask]
-
-    def _arbitration_key(self, birth: np.ndarray, meta: np.ndarray) -> np.ndarray:
-        """Per-flit arbitration key; the smallest key wins a conflict."""
-        if self.arbitration == "oldest_first":
-            return priority_key(birth, meta_src(meta))
-        if self.arbitration == "youngest_first":
-            return -priority_key(birth, meta_src(meta))
-        return self._rng.integers(0, _KEY_MAX, size=birth.shape, dtype=np.int64)
-
-    # ------------------------------------------------------------------
-    def step(self, cycle: int) -> EjectedFlits:
-        self.stats.cycles += 1
-        n, p = self.num_nodes, NUM_PORTS
-
-        # --- Arrivals ----------------------------------------------------
-        slot = self._cursor
-        meta = self._ring_meta[slot].reshape(n, p).copy()
-        birth = self._ring_birth[slot].reshape(n, p).copy()
-        self._ring_birth[slot] = -1
-        self._cursor = (self._cursor + 1) % self.hop_latency
-
-        valid = birth >= 0
-        dest = meta_dest(meta)
-        key = np.where(valid, self._arbitration_key(birth, meta), _KEY_MAX)
-
-        # --- Ejection: up to eject_width oldest local flits per node ----
-        local = valid & (dest == self._node_col)
-        ejected = EjectedFlits.empty()
-        ej_parts = []
-        if local.any():
-            local_key = np.where(local, key, _KEY_MAX)
-            for _ in range(self.eject_width):
-                col = np.argmin(local_key, axis=1)
-                rows = np.flatnonzero(local_key[self._node_ids, col] != _KEY_MAX)
-                if rows.size == 0:
-                    break
-                cols = col[rows]
-                m = meta[rows, cols]
-                ej_parts.append((rows, m))
-                lat = cycle - birth[rows, cols]
-                self.stats.latency_sum += int(lat.sum())
-                self.stats.latency_count += rows.size
-                self.stats.latency_max = max(self.stats.latency_max, int(lat.max()))
-                self.stats.record_latencies(lat)
-                self.stats.hops_sum += int(meta_hops(m).sum())
-                valid[rows, cols] = False
-                local_key[rows, cols] = _KEY_MAX
-                key[rows, cols] = _KEY_MAX
-            self.stats.ejected_flits += sum(r.size for r, _ in ej_parts)
-
-        # --- Output-port allocation, Oldest-First rank by rank ----------
-        # Productive ports for every arrival, computed once.
-        if self._dist is None:
-            # Fault-free: productive XY ports.
-            dx, dy = self.topology.deltas(self._node_col, dest)
-            x_port = np.where(dx > 0, 1, 3)  # EAST / WEST
-            y_port = np.where(dy > 0, 2, 0)  # SOUTH / NORTH
-            p0 = np.where(dx != 0, x_port, np.where(dy != 0, y_port, -1))
-            p1 = np.where((dx != 0) & (dy != 0), y_port, -1)
-            productive = None
-        else:
-            # Permanent faults: a port is productive iff its neighbor is
-            # strictly closer to dest on the healthy graph.
-            p0 = p1 = None
-            d_here = self._dist[self._node_col, dest]
-            d_next = self._dist[self._neighbor_safe[:, None, :], dest[:, :, None]]
-            productive = self.link_up[:, None, :] & (d_next < d_here[:, :, None])
-
-        # ``avail`` marks healthy free output links (True = grantable);
-        # ``spare`` marks transiently faulted links kept as a last-resort
-        # fallback — a bufferless router cannot hold a flit back, so when
-        # every healthy port is taken the flit crosses a degraded link
-        # rather than being dropped (losslessness is a hard invariant).
-        avail = self._avail
-        np.copyto(avail, self.link_up)
-        spare = None
-        if self.fault_model is not None:
-            t_down = self.fault_model.transient_down(cycle)
-            if t_down is not None:
-                spare = self._spare
-                np.copyto(spare, avail & t_down)
-                avail &= ~t_down
-        out_meta, out_birth = self._out_meta, self._out_birth
-        out_birth[:] = -1
-        order = np.argsort(key, axis=1)
-        deflections = 0
-        for rank in range(p):
-            cols = order[:, rank]
-            rows = np.flatnonzero(key[self._node_ids, cols] != _KEY_MAX)
-            if rows.size == 0:
-                break  # ranks are sorted: later ranks are empty too
-            c = cols[rows]
-            free = avail[rows]
-            if productive is None:
-                pp0 = p0[rows, c]
-                pp1 = p1[rows, c]
-                k_idx = np.arange(rows.size)
-                ok0 = (pp0 >= 0) & free[k_idx, np.where(pp0 >= 0, pp0, 0)]
-                choice = np.where(ok0, pp0, -1)
-                ok1 = (
-                    (choice < 0) & (pp1 >= 0)
-                    & free[k_idx, np.where(pp1 >= 0, pp1, 0)]
-                )
-                choice = np.where(ok1, pp1, choice)
-            else:
-                good = free & productive[rows, c]
-                choice = np.where(good.any(axis=1), np.argmax(good, axis=1), -1)
-            missing = choice < 0
-            if missing.any():
-                if self.tracer is not None:
-                    md = meta[rows, c][missing]
-                    self.tracer.record(
-                        EV_DEFLECT, cycle, rows[missing], meta_src(md),
-                        meta_dest(md), meta_kind(md), meta_seq(md),
-                        meta_hops(md),
-                    )
-                # Deflect to the first free link; one always exists
-                # because a router has >= as many healthy links as routed
-                # flits (faults fail both directions of a link together).
-                fallback = np.argmax(free, axis=1)
-                if spare is not None:
-                    no_healthy = ~free.any(axis=1)
-                    if no_healthy.any():
-                        fallback = np.where(
-                            no_healthy, np.argmax(spare[rows], axis=1), fallback
-                        )
-                choice = np.where(missing, fallback, choice)
-                deflections += int(missing.sum())
-            avail[rows, choice] = False
-            if spare is not None:
-                spare[rows, choice] = False
-            out_meta[rows, choice] = meta[rows, c] + HOP_ONE
-            out_birth[rows, choice] = birth[rows, c]
-        self.stats.deflections += deflections
-
-        # --- Injection: responses first, then throttled requests --------
-        # New flits only ever enter on healthy free links (``avail``);
-        # injection is optional, so degraded links are never used here.
-        has_free = avail.any(axis=1)
-        resp_has = self.response_queue.nonempty
-        req_has = self.request_queue.nonempty
-        wanted = resp_has | req_has
-        inject_resp = resp_has & has_free
-        trying_req = req_has & has_free & ~inject_resp
-        inject_req = trying_req & self.throttle.decide(trying_req)
-        self._inject(np.flatnonzero(inject_resp), self.response_queue, cycle,
-                     avail, out_meta, out_birth)
-        self._inject(np.flatnonzero(inject_req), self.request_queue, cycle,
-                     avail, out_meta, out_birth)
-        self._record_starvation(wanted, inject_resp | inject_req, has_free)
-
-        # --- Distributed-control congestion bit (§6.6) -------------------
-        if self.congested_nodes.any():
-            mark = self.congested_nodes[:, None] & (out_birth >= 0)
-            out_meta[mark] |= CBIT_MASK
-
-        # --- Send all granted flits across their links -------------------
-        moving = out_birth >= 0
-        idx = self._target_flat[moving]
-        send_slot = (self._cursor + self.hop_latency - 1) % self.hop_latency
-        self._ring_meta[send_slot, idx] = out_meta[moving]
-        self._ring_birth[send_slot, idx] = out_birth[moving]
-        self.stats.flit_hops += idx.size
-        if self.tracer is not None and idx.size:
-            hop_rows = np.nonzero(moving)[0]
-            hm = out_meta[moving]
-            self.tracer.record(
-                EV_HOP, cycle, hop_rows, meta_src(hm), meta_dest(hm),
-                meta_kind(hm), meta_seq(hm), meta_hops(hm),
-            )
-
-        if ej_parts:
-            rows = np.concatenate([r for r, _ in ej_parts])
-            m = np.concatenate([mm for _, mm in ej_parts])
-            if self.tracer is not None:
-                self.tracer.record(
-                    EV_EJECT, cycle, rows, meta_src(m), rows,
-                    meta_kind(m), meta_seq(m), meta_hops(m),
-                )
-            ejected = EjectedFlits(
-                rows, meta_src(m), meta_kind(m), meta_seq(m),
-                meta_cbit(m).astype(bool),
-            )
-        return ejected
-
-    # ------------------------------------------------------------------
-    def _inject(self, nodes, queue, cycle, avail, out_meta, out_birth) -> None:
-        """Place one queued flit per node in *nodes* onto a free link."""
-        if nodes.size == 0:
-            return
-        dest, kind, seq, stamp, _ = queue.take_flit(nodes)
-        # Injected flits are routed like any other: productive XY port
-        # first, the other productive direction second, then any free
-        # link (they are the youngest flits, so they lost arbitration to
-        # every in-flight flit already).
-        free = avail[nodes]
-        if self._dist is None:
-            p0, p1 = self.topology.productive_ports(nodes, dest)
-            k_idx = np.arange(nodes.size)
-            ok0 = (p0 >= 0) & free[k_idx, np.where(p0 >= 0, p0, 0)]
-            port = np.where(ok0, p0, -1)
-            ok1 = (port < 0) & (p1 >= 0) & free[k_idx, np.where(p1 >= 0, p1, 0)]
-            port = np.where(ok1, p1, port)
-            port = np.where(port < 0, np.argmax(free, axis=1), port)
-        else:
-            d_here = self._dist[nodes, dest]
-            d_next = self._dist[self._neighbor_safe[nodes], dest[:, None]]
-            good = free & (d_next < d_here[:, None])
-            port = np.where(
-                good.any(axis=1), np.argmax(good, axis=1),
-                np.argmax(free, axis=1),
-            )
-        avail[nodes, port] = False
-        if self.tracer is not None:
-            self.tracer.record(
-                EV_INJECT, cycle, nodes, nodes, dest, kind, seq, 0
-            )
-        # The first traversal completes upon arrival at the neighbor.
-        out_meta[nodes, port] = pack_meta(dest, nodes, kind, seq) + HOP_ONE
-        out_birth[nodes, port] = cycle
-        self.stats.injected_flits += nodes.size
-        self.stats.injected_per_node[nodes] += 1
-        self.injection_latency_sum += int((cycle - stamp).sum())
-        self.injection_latency_count += nodes.size

@@ -18,74 +18,20 @@ input-buffered, credit-flow-controlled router:
 Per-VC allocation is abstracted away (see DESIGN.md §2): what the
 comparison rests on — in-network queueing that grows with load, extra
 buffering capacity, and the area/power cost of buffers — is preserved.
+
+The cycle itself lives in :class:`repro.network.engine.RouterEngine` +
+:class:`~repro.network.engine.CreditFlowControl`; this class is the
+thin configuration pairing them (see DESIGN.md §S21).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.network.base import EjectedFlits, NocModel
-from repro.observability.tracer import EV_EJECT, EV_HOP, EV_INJECT
-from repro.network.flit import (
-    CBIT_MASK,
-    HOP_ONE,
-    meta_cbit,
-    meta_dest,
-    meta_hops,
-    meta_kind,
-    meta_seq,
-    meta_src,
-    pack_meta,
-    priority_key,
-)
-from repro.topology.mesh import NUM_PORTS
+from repro.network.engine import CreditFlowControl, RouterEngine
 
 __all__ = ["BufferedNetwork"]
 
-_KEY_MAX = np.iinfo(np.int64).max
-_NI_PORT = NUM_PORTS  # index of the injection input
-_EJECT = NUM_PORTS  # output-port id for local delivery
-_NUM_INPUTS = NUM_PORTS + 1
 
-
-class _BufferBank:
-    """Fixed-capacity FIFO of packed flits per (node, input port)."""
-
-    def __init__(self, num_nodes: int, num_ports: int, capacity: int):
-        self.capacity = capacity
-        shape = (num_nodes, num_ports, capacity)
-        self.meta = np.zeros(shape, dtype=np.int64)
-        self.birth = np.zeros(shape, dtype=np.int64)
-        self.head = np.zeros((num_nodes, num_ports), dtype=np.int32)
-        self.count = np.zeros((num_nodes, num_ports), dtype=np.int32)
-
-    def occupancy(self) -> int:
-        return int(self.count.sum())
-
-    def push(self, nodes, ports, meta, birth) -> None:
-        """Append flits; callers guarantee space and unique (node, port)."""
-        slot = (self.head[nodes, ports] + self.count[nodes, ports]) % self.capacity
-        self.meta[nodes, ports, slot] = meta
-        self.birth[nodes, ports, slot] = birth
-        self.count[nodes, ports] += 1
-
-    def heads(self):
-        """Head-of-queue view per (node, port): ``(valid, meta, birth)``."""
-        idx = self.head[:, :, None]
-        meta = np.take_along_axis(self.meta, idx, axis=2)[:, :, 0]
-        birth = np.take_along_axis(self.birth, idx, axis=2)[:, :, 0]
-        return self.count > 0, meta, birth
-
-    def pop(self, nodes, ports):
-        slot = self.head[nodes, ports]
-        meta = self.meta[nodes, ports, slot].copy()
-        birth = self.birth[nodes, ports, slot].copy()
-        self.head[nodes, ports] = (slot + 1) % self.capacity
-        self.count[nodes, ports] -= 1
-        return meta, birth
-
-
-class BufferedNetwork(NocModel):
+class BufferedNetwork(RouterEngine):
     """Input-buffered XY-routed network with credit flow control."""
 
     def __init__(
@@ -97,169 +43,11 @@ class BufferedNetwork(NocModel):
         starvation_window: int = 128,
         fault_model=None,
     ):
-        super().__init__(topology, queue_capacity, starvation_window, fault_model)
-        if buffer_capacity < 1:
-            raise ValueError("buffer capacity must be positive")
-        if hop_latency < 1:
-            raise ValueError("hop latency must be at least 1 cycle")
-        self.hop_latency = hop_latency
-        self.buffer_capacity = buffer_capacity
-        n, p = self.num_nodes, NUM_PORTS
-        self._ring_meta = np.zeros((hop_latency, n * p), dtype=np.int64)
-        self._ring_birth = np.full((hop_latency, n * p), -1, dtype=np.int64)
-        self._cursor = 0
-        self.buffers = _BufferBank(n, _NUM_INPUTS, buffer_capacity)
-        # Flits in flight toward each link-input buffer, for credit checks.
-        self.reserved = np.zeros((n, p), dtype=np.int32)
-        self._node_ids = np.arange(n, dtype=np.int64)
-        self._node_col = self._node_ids[:, None]
-
-    # ------------------------------------------------------------------
-    def in_flight_flits(self) -> int:
-        return int((self._ring_birth >= 0).sum()) + self.buffers.occupancy()
-
-    def in_flight_view(self):
-        ring_mask = self._ring_birth >= 0
-        buffers = self.buffers
-        # Occupied ring-buffer slots per (node, input port).
-        offsets = np.arange(buffers.capacity)
-        occupied = (
-            (offsets[None, None, :] - buffers.head[:, :, None]) % buffers.capacity
-            < buffers.count[:, :, None]
+        super().__init__(
+            topology,
+            CreditFlowControl(buffer_capacity=buffer_capacity),
+            hop_latency=hop_latency,
+            queue_capacity=queue_capacity,
+            starvation_window=starvation_window,
+            fault_model=fault_model,
         )
-        return (
-            np.concatenate([self._ring_meta[ring_mask], buffers.meta[occupied]]),
-            np.concatenate([self._ring_birth[ring_mask], buffers.birth[occupied]]),
-        )
-
-    # ------------------------------------------------------------------
-    def step(self, cycle: int) -> EjectedFlits:
-        self.stats.cycles += 1
-        n, p = self.num_nodes, NUM_PORTS
-
-        # --- Link arrivals drain into the input buffers -----------------
-        slot = self._cursor
-        arr_birth = self._ring_birth[slot].reshape(n, p)
-        arr_rows, arr_ports = np.nonzero(arr_birth >= 0)
-        if arr_rows.size:
-            arr_meta = self._ring_meta[slot].reshape(n, p)
-            self.buffers.push(
-                arr_rows, arr_ports,
-                arr_meta[arr_rows, arr_ports], arr_birth[arr_rows, arr_ports],
-            )
-            self.reserved[arr_rows, arr_ports] -= 1
-            self.stats.buffer_writes += arr_rows.size
-        self._ring_birth[slot] = -1
-        self._cursor = (self._cursor + 1) % self.hop_latency
-
-        # --- Route computation for every head-of-queue flit -------------
-        h_valid, h_meta, h_birth = self.buffers.heads()
-        h_dest = meta_dest(h_meta)
-        h_key = np.where(h_valid, priority_key(h_birth, meta_src(h_meta)), _KEY_MAX)
-        dx, dy = self.topology.deltas(self._node_col, h_dest)
-        x_port = np.where(dx > 0, 1, 3)
-        y_port = np.where(dy > 0, 2, 0)
-        h_out = np.where(dx != 0, x_port, np.where(dy != 0, y_port, _EJECT))
-
-        # --- Output arbitration: one winner per output port --------------
-        neighbor = self.topology.neighbor
-        opposite = self.topology.opposite
-        send_slot = (self._cursor + self.hop_latency - 1) % self.hop_latency
-        ejected = EjectedFlits.empty()
-        mark = self.congested_nodes.any()
-        # Faulted links cannot be granted; the flit stays buffered (XY
-        # routing has no alternative path, unlike deflection routing).
-        link_ok = self.link_up
-        t_down = None
-        if self.fault_model is not None:
-            t_down = self.fault_model.transient_down(cycle)
-        for out_port in range(NUM_PORTS + 1):
-            key = np.where(h_out == out_port, h_key, _KEY_MAX)
-            col = np.argmin(key, axis=1)
-            rows = np.flatnonzero(key[self._node_ids, col] != _KEY_MAX)
-            if rows.size == 0:
-                continue
-            in_ports = col[rows]
-            if out_port == _EJECT:
-                meta, birth = self.buffers.pop(rows, in_ports)
-                self.stats.buffer_reads += rows.size
-                self.stats.ejected_flits += rows.size
-                lat = cycle - birth
-                self.stats.latency_sum += int(lat.sum())
-                self.stats.latency_count += rows.size
-                self.stats.latency_max = max(self.stats.latency_max, int(lat.max()))
-                self.stats.record_latencies(lat)
-                self.stats.hops_sum += int(meta_hops(meta).sum())
-                if self.tracer is not None:
-                    self.tracer.record(
-                        EV_EJECT, cycle, rows, meta_src(meta), rows,
-                        meta_kind(meta), meta_seq(meta), meta_hops(meta),
-                    )
-                ejected = EjectedFlits(
-                    rows, meta_src(meta), meta_kind(meta), meta_seq(meta),
-                    meta_cbit(meta).astype(bool),
-                )
-                continue
-            # Credit check: downstream input buffer must have space for
-            # everything already there plus flits still on the wire; the
-            # link itself must also be healthy this cycle.
-            down = neighbor[rows, out_port].astype(np.int64)
-            down_port = int(opposite[out_port])
-            space = (
-                self.buffers.count[down, down_port]
-                + self.reserved[down, down_port]
-                < self.buffer_capacity
-            )
-            space &= link_ok[rows, out_port]
-            if t_down is not None:
-                space &= ~t_down[rows, out_port]
-            rows, in_ports, down = rows[space], in_ports[space], down[space]
-            if rows.size == 0:
-                continue
-            meta, birth = self.buffers.pop(rows, in_ports)
-            self.stats.buffer_reads += rows.size
-            meta = meta + HOP_ONE
-            if mark:
-                meta[self.congested_nodes[rows]] |= CBIT_MASK
-            idx = down * p + down_port
-            self._ring_meta[send_slot, idx] = meta
-            self._ring_birth[send_slot, idx] = birth
-            self.reserved[down, down_port] += 1
-            self.stats.flit_hops += rows.size
-            if self.tracer is not None:
-                self.tracer.record(
-                    EV_HOP, cycle, rows, meta_src(meta), meta_dest(meta),
-                    meta_kind(meta), meta_seq(meta), meta_hops(meta),
-                )
-
-        # --- Injection through the NI input buffer -----------------------
-        ni_space = self.buffers.count[:, _NI_PORT] < self.buffer_capacity
-        resp_has = self.response_queue.nonempty
-        req_has = self.request_queue.nonempty
-        wanted = resp_has | req_has
-        inject_resp = resp_has & ni_space
-        trying_req = req_has & ni_space & ~inject_resp
-        inject_req = trying_req & self.throttle.decide(trying_req)
-        self._inject(np.flatnonzero(inject_resp), self.response_queue, cycle)
-        self._inject(np.flatnonzero(inject_req), self.request_queue, cycle)
-        self._record_starvation(wanted, inject_resp | inject_req, ni_space)
-        return ejected
-
-    # ------------------------------------------------------------------
-    def _inject(self, nodes: np.ndarray, queue, cycle: int) -> None:
-        if nodes.size == 0:
-            return
-        dest, kind, seq, _stamp, _ = queue.take_flit(nodes)
-        if self.tracer is not None:
-            self.tracer.record(
-                EV_INJECT, cycle, nodes, nodes, dest, kind, seq, 0
-            )
-        ports = np.full(nodes.shape, _NI_PORT, dtype=np.int64)
-        self.buffers.push(
-            nodes, ports,
-            pack_meta(dest, nodes, kind, seq),
-            np.full(nodes.shape, cycle, dtype=np.int64),
-        )
-        self.stats.buffer_writes += nodes.size
-        self.stats.injected_flits += nodes.size
-        self.stats.injected_per_node[nodes] += 1

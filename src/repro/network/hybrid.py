@@ -1,0 +1,61 @@
+"""MinBD-style hybrid router: deflection plus a small side buffer.
+
+Minimally-buffered deflection routing (Ausavarungnirun & Mutlu,
+arXiv:2112.02516) keeps the bufferless datapath of FLIT-BLESS but adds
+one small FIFO per router.  Each cycle the router may *capture* a
+single flit that would otherwise be deflected into the side buffer, and
+*redeem* one stored flit back into a free arrival slot.  At load this
+absorbs most misrouting (deflection rate well below BLESS) with a
+fraction of the storage of the buffered VC baseline (occupancy well
+below it) — the middle point of the buffering spectrum the paper's §6.3
+comparison spans.
+
+The cycle itself lives in :class:`repro.network.engine.RouterEngine` +
+:class:`~repro.network.engine.HybridFlowControl`; this class is the
+thin configuration pairing them (see DESIGN.md §S21).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.network.engine import HybridFlowControl, RouterEngine
+
+__all__ = ["HybridNetwork"]
+
+
+class HybridNetwork(RouterEngine):
+    """Deflection-routed network with a per-router side buffer.
+
+    Accepts every :class:`~repro.network.bless.BlessNetwork` parameter
+    plus ``side_buffer_capacity``, the per-router FIFO depth (MinBD uses
+    a handful of flits; the default is 4).
+    """
+
+    def __init__(
+        self,
+        topology,
+        hop_latency: int = 3,
+        eject_width: int = 1,
+        queue_capacity: int = 64,
+        starvation_window: int = 128,
+        arbitration: str = "oldest_first",
+        side_buffer_capacity: int = 4,
+        rng: Optional[np.random.Generator] = None,
+        fault_model=None,
+    ):
+        super().__init__(
+            topology,
+            HybridFlowControl(
+                eject_width=eject_width,
+                side_buffer_capacity=side_buffer_capacity,
+            ),
+            hop_latency=hop_latency,
+            queue_capacity=queue_capacity,
+            starvation_window=starvation_window,
+            arbitration=arbitration,
+            rng=rng,
+            fault_model=fault_model,
+        )

@@ -1,12 +1,12 @@
 """Per-phase wall-clock attribution for the simulator's cycle loop.
 
 The simulator's per-cycle order of operations (see
-:mod:`repro.sim.simulator`) maps onto six phases.  When profiling is
-enabled the run loop calls :meth:`PhaseTimer.begin_cycle` once and
-:meth:`PhaseTimer.lap` after each phase, so the cost of the timer itself
-is a handful of ``perf_counter`` calls per cycle; when profiling is
-disabled the simulator takes its original uninstrumented loop and the
-timer never exists at all.
+:mod:`repro.sim.pipeline`) maps onto six phases.  When profiling is
+enabled the pipeline compiles a timing wrapper around each phase that
+brackets it with :meth:`PhaseTimer.begin_cycle` / :meth:`PhaseTimer.lap`,
+so the cost of the timer itself is a handful of ``perf_counter`` calls
+per cycle; when profiling is disabled the pipeline compiles to the bare
+phase callables and the timer never exists at all.
 """
 
 from __future__ import annotations

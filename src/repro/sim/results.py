@@ -10,6 +10,7 @@ cache in :mod:`repro.harness` relies on both properties.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -85,7 +86,7 @@ class SimulationResult:
     epochs: EpochSeries
     #: per-flit delivered-latency histogram (the percentile samples);
     #: ``None`` for hand-built results, which report percentile 0
-    latency_hist: np.ndarray = None
+    latency_hist: Optional[np.ndarray] = None
     in_flight_flits: int = 0  # still in the network at run end
     guardrails: object = None  # GuardrailReport (None for hand-built results)
     #: PerfCounters when profiling/tracing was enabled, else None — perf

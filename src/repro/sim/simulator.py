@@ -6,22 +6,29 @@ paper's sense (§6.1): "the backpressure of the NoC and its effect on
 presented load are accurately captured" — cores stall when the network
 does not deliver, which feeds back into injected load.
 
-Per-cycle order of operations:
+Per-cycle order of operations (the phase-pipeline contract, see
+:mod:`repro.sim.pipeline` and DESIGN.md §S21):
 
-1. application phase processes advance,
-2. cores retire instructions and enqueue new miss requests,
-3. the memory system enqueues data replies that finished L2 service,
-4. the network moves/ejects/injects flits,
-5. delivered request flits enter L2 service; delivered reply flits
-   complete core misses,
-6. on epoch boundaries the congestion controller observes the network
-   (IPF + starvation, the paper's 2n control packets) and installs new
-   throttling rates.
+1. ``behavior``: application phase processes advance,
+2. ``cores``: cores retire instructions and enqueue new miss requests,
+3. ``memory``: the memory system enqueues data replies that finished L2
+   service,
+4. ``network``: the network moves/ejects/injects flits (guardrail
+   post-hooks — invariant checker, livelock watchdog — run here),
+5. ``ejection``: delivered request flits enter L2 service; delivered
+   reply flits complete core misses,
+6. ``epoch`` (periodic): on epoch boundaries the congestion controller
+   observes the network (IPF + starvation, the paper's 2n control
+   packets) and installs new throttling rates.
+
+There is exactly one run loop; profiling composes per-phase timing
+wrappers at compile time instead of duplicating the loop.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 import numpy as np
 
@@ -35,12 +42,13 @@ from repro.guardrails.report import GuardrailReport
 from repro.guardrails.watchdog import ProgressWatchdog
 from repro.guardrails.errors import SimulationTimeout
 from repro.metrics.collectors import EpochSeries
-from repro.network.bless import BlessNetwork
-from repro.network.buffered import BufferedNetwork
+from repro.network import build_network
+from repro.network.base import EjectedFlits
 from repro.network.flit import FLIT_CONTROL, FLIT_REPLY, FLIT_REQUEST
 from repro.observability import FlitTracer, PerfCounters, PhaseTimer
 from repro.power.model import PowerModel
 from repro.rng import child_rng
+from repro.sim.pipeline import PhasePipeline
 from repro.sim.results import SimulationResult
 from repro.topology.mesh import Mesh2D
 from repro.topology.torus import Torus2D
@@ -94,24 +102,10 @@ class Simulator:
             if config.faults is not None and config.faults.any_faults
             else None
         )
-        if config.network == "bless":
-            self.network = BlessNetwork(
-                self.topology,
-                hop_latency=config.hop_latency,
-                eject_width=config.eject_width,
-                queue_capacity=config.queue_capacity,
-                arbitration=config.arbitration,
-                rng=self._rng_arb,
-                fault_model=self.fault_model,
-            )
-        else:
-            self.network = BufferedNetwork(
-                self.topology,
-                hop_latency=config.hop_latency,
-                buffer_capacity=config.buffer_capacity,
-                queue_capacity=config.queue_capacity,
-                fault_model=self.fault_model,
-            )
+        self.network = build_network(
+            config, self.topology, rng=self._rng_arb,
+            fault_model=self.fault_model,
+        )
         # Observability (repro.observability): both layers default off,
         # in which case the run loop stays uninstrumented and the only
         # residual cost is a handful of is-None branches.
@@ -162,15 +156,80 @@ class Simulator:
             # A fail-stopped hub moves to the nearest live router.
             self.hub = int(self.fault_model.remap[self.hub])
         self.control_flits_sent = 0
+        # Per-cycle scratch: the network phase's delivered flits, consumed
+        # by the guardrail hooks and the ejection phase.
+        self._ejected = EjectedFlits.empty()
+        self._observe = False
+        self.pipeline = self._build_pipeline()
 
     # ------------------------------------------------------------------
-    def run(self, cycles: int, deadline: float = None) -> SimulationResult:
+    # The phase pipeline (the per-cycle order-of-operations contract)
+    # ------------------------------------------------------------------
+    def _build_pipeline(self) -> PhasePipeline:
+        """Assemble the cycle loop's ordered phases and hooks.
+
+        The phase *order* is the module-docstring contract; guardrails
+        attach as post-hooks on the ``network`` phase (they verify its
+        outcome), so disabled guardrails leave the compiled loop
+        untouched.  Observability wraps phases at compile time in
+        :meth:`run` — nothing here branches on it.
+        """
+        pipe = PhasePipeline()
+        pipe.append("behavior", self._behavior_phase)
+        pipe.append("cores", self.cores.step)
+        pipe.append("memory", self.memory.step)
+        pipe.append("network", self._network_phase)
+        if self.checker is not None:
+            pipe.post_hook("network", self._invariants_hook)
+        if self.watchdog is not None:
+            pipe.post_hook("network", self._watchdog_hook)
+        pipe.append("ejection", self._ejection_phase)
+        pipe.append("epoch", self._epoch_phase, every=self.config.epoch)
+        return pipe
+
+    def _behavior_phase(self, cycle: int) -> None:
+        self.behavior.tick(self._rng_phase)
+
+    def _network_phase(self, cycle: int) -> None:
+        self._ejected = self.network.step(cycle)
+
+    def _invariants_hook(self, cycle: int) -> None:
+        self.checker.after_step(cycle, self._ejected)
+
+    def _watchdog_hook(self, cycle: int) -> None:
+        self.watchdog.after_step(cycle, self.network)
+
+    def _ejection_phase(self, cycle: int) -> None:
+        """Deliver this cycle's ejected flits to their consumers."""
+        ejected = self._ejected
+        if ejected.node.size:
+            kind = ejected.kind
+            req = kind == FLIT_REQUEST
+            if req.any():
+                self.memory.on_requests(
+                    ejected.node[req], ejected.src[req], ejected.seq[req]
+                )
+            rep = kind == FLIT_REPLY
+            if rep.any():
+                self.cores.on_reply_flits(ejected.node[rep], ejected.seq[rep])
+            if self._observe:
+                self.controller.on_ejected(ejected)
+
+    def _epoch_phase(self, cycle: int) -> None:
+        self._run_epoch()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, cycles: int, deadline: Optional[float] = None
+    ) -> SimulationResult:
         """Advance *cycles* cycles and return the run's results.
 
         ``deadline`` is an optional wall-clock budget in seconds; a run
         that exceeds it raises
         :class:`~repro.guardrails.errors.SimulationTimeout` (checked
         every 256 cycles) so a diverging run cannot stall a whole sweep.
+        After an abort, :meth:`result` still returns a well-formed
+        partial result for the cycles that did complete.
         """
         if isinstance(cycles, bool) or not isinstance(cycles, (int, np.integer)):
             raise ValueError(
@@ -191,95 +250,26 @@ class Simulator:
             raise ValueError(f"epoch must be >= 1 (got epoch={epoch})")
         start_time = time.monotonic() if deadline is not None else 0.0
         end = self.cycle + cycles
-        observe = self.controller.observes_ejections
+        self._observe = self.controller.observes_ejections
+        self.pipeline.set_period("epoch", epoch)
+        cycle_fns, periodic = self.pipeline.compiled(self.phase_timer)
         wall_start = time.perf_counter()
         try:
-            if self.phase_timer is None:
-                self._run_plain(end, epoch, observe, deadline, start_time)
-            else:
-                self._run_profiled(end, epoch, observe, deadline, start_time)
+            cycle = self.cycle
+            while cycle < end:
+                if deadline is not None and cycle % 256 == 0:
+                    elapsed = time.monotonic() - start_time
+                    if elapsed > deadline:
+                        raise SimulationTimeout(cycle, elapsed, deadline)
+                for fn in cycle_fns:
+                    fn(cycle)
+                cycle = self.cycle = cycle + 1
+                for every, fn in periodic:
+                    if cycle % every == 0:
+                        fn(cycle)
         finally:
             self._wall_seconds += time.perf_counter() - wall_start
-        return self._result()
-
-    def _run_plain(self, end, epoch, observe, deadline, start_time) -> None:
-        """The uninstrumented hot loop (profiling off)."""
-        while self.cycle < end:
-            c = self.cycle
-            if deadline is not None and c % 256 == 0:
-                elapsed = time.monotonic() - start_time
-                if elapsed > deadline:
-                    raise SimulationTimeout(c, elapsed, deadline)
-            self.behavior.tick(self._rng_phase)
-            self.cores.step(c)
-            self.memory.step(c)
-            ejected = self.network.step(c)
-            if self.checker is not None:
-                self.checker.after_step(c, ejected)
-            if self.watchdog is not None:
-                self.watchdog.after_step(c, self.network)
-            if ejected.node.size:
-                kind = ejected.kind
-                req = kind == FLIT_REQUEST
-                if req.any():
-                    self.memory.on_requests(
-                        ejected.node[req], ejected.src[req], ejected.seq[req]
-                    )
-                rep = kind == FLIT_REPLY
-                if rep.any():
-                    self.cores.on_reply_flits(ejected.node[rep], ejected.seq[rep])
-                if observe:
-                    self.controller.on_ejected(ejected)
-            self.cycle += 1
-            if self.cycle % epoch == 0:
-                self._run_epoch()
-
-    def _run_profiled(self, end, epoch, observe, deadline, start_time) -> None:
-        """The same loop as :meth:`_run_plain` with PhaseTimer laps.
-
-        Kept as a deliberate duplicate rather than a single loop with
-        conditional timing: the plain path must not pay even the branch
-        cost of disabled instrumentation (the <2% disabled-overhead
-        budget is an acceptance criterion).  Any change to the cycle
-        order of operations must be mirrored in both loops.
-        """
-        timer = self.phase_timer
-        while self.cycle < end:
-            c = self.cycle
-            if deadline is not None and c % 256 == 0:
-                elapsed = time.monotonic() - start_time
-                if elapsed > deadline:
-                    raise SimulationTimeout(c, elapsed, deadline)
-            timer.begin_cycle()
-            self.behavior.tick(self._rng_phase)
-            timer.lap("behavior")
-            self.cores.step(c)
-            timer.lap("cores")
-            self.memory.step(c)
-            timer.lap("memory")
-            ejected = self.network.step(c)
-            timer.lap("network")
-            if self.checker is not None:
-                self.checker.after_step(c, ejected)
-            if self.watchdog is not None:
-                self.watchdog.after_step(c, self.network)
-            if ejected.node.size:
-                kind = ejected.kind
-                req = kind == FLIT_REQUEST
-                if req.any():
-                    self.memory.on_requests(
-                        ejected.node[req], ejected.src[req], ejected.seq[req]
-                    )
-                rep = kind == FLIT_REPLY
-                if rep.any():
-                    self.cores.on_reply_flits(ejected.node[rep], ejected.seq[rep])
-                if observe:
-                    self.controller.on_ejected(ejected)
-            timer.lap("ejection")
-            self.cycle += 1
-            if self.cycle % epoch == 0:
-                self._run_epoch()
-                timer.lap("epoch")
+        return self.result()
 
     # ------------------------------------------------------------------
     def _run_epoch(self) -> None:
@@ -345,7 +335,14 @@ class Simulator:
             )
 
     # ------------------------------------------------------------------
-    def _result(self) -> SimulationResult:
+    def result(self) -> SimulationResult:
+        """The run's results so far — callable even after an abort.
+
+        A :class:`~repro.guardrails.errors.SimulationTimeout` (or any
+        guardrail abort) fires on a cycle boundary, before any phase of
+        the aborted cycle runs, so the state summarized here is always a
+        consistent whole number of cycles and epochs.
+        """
         stats = self.network.stats
         cores = self.cores
         flits = cores.misses_issued * (
@@ -354,12 +351,9 @@ class Simulator:
         ipf = cores.retired / np.maximum(flits, 1)
         ipf[flits == 0] = np.inf
         inj_lat = 0.0
-        if isinstance(self.network, BlessNetwork):
-            if self.network.injection_latency_count:
-                inj_lat = (
-                    self.network.injection_latency_sum
-                    / self.network.injection_latency_count
-                )
+        inj_count = getattr(self.network, "injection_latency_count", 0)
+        if inj_count:
+            inj_lat = self.network.injection_latency_sum / inj_count
         power = PowerModel(self.config.power).report(
             stats, self.topology.num_nodes, buffered=self.config.network == "buffered"
         )

@@ -26,7 +26,6 @@ class Torus2D(Mesh2D):
     wraps = True
 
     def _fill_neighbors(self) -> None:
-        n = np.arange(self.num_nodes)
         x, y = self.coord_x, self.coord_y
         self.neighbor[:, NORTH] = ((y - 1) % self.height) * self.width + x
         self.neighbor[:, SOUTH] = ((y + 1) % self.height) * self.width + x

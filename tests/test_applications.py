@@ -6,7 +6,6 @@ import pytest
 from repro.traffic.applications import (
     APPLICATION_CATALOG,
     ApplicationBehaviorArray,
-    ApplicationSpec,
     intensity_class,
 )
 

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import Mesh2D, Torus2D
 from repro.network import BlessNetwork
-from repro.network.flit import FLIT_REPLY, FLIT_REQUEST
+from repro.network.flit import FLIT_REPLY
 
 
 def drive(net, schedule, cycles):

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import Mesh2D
 from repro.network import BufferedNetwork
 from repro.network.flit import FLIT_REPLY
 

@@ -1,6 +1,5 @@
 """Unit tests for the experiment drivers and table formatting."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -14,7 +14,6 @@ from repro import (
     make_homogeneous_workload,
 )
 from repro.control import CentralController, ControlParams, EpochView
-from repro.network import BlessNetwork
 from repro.network.base import NetworkStats
 
 

@@ -1,7 +1,6 @@
 """Unit tests for the packed flit representation."""
 
 import numpy as np
-import pytest
 
 from repro.network.flit import (
     CBIT_MASK,

@@ -1,7 +1,5 @@
 """Additional cross-module integration coverage."""
 
-import numpy as np
-import pytest
 
 from repro import (
     DistributedController,
