@@ -49,7 +49,28 @@ from repro import (
 from repro.guardrails import FaultConfig, GuardrailError
 
 __all__ = ["main", "build_parser", "build_sweep_parser",
-           "build_profile_parser", "profile_main", "sweep_main"]
+           "build_profile_parser", "profile_main", "sweep_main",
+           "CLI_NON_CONFIG_DESTS"]
+
+#: CLI dests that deliberately are NOT SimulationConfig fields: they
+#: select or construct config values (workload, geometry, run bounds,
+#: fault shorthands) rather than pass through 1:1.  Checked against the
+#: parser and the config dataclass by the CFG001 rule
+#: (``repro.analysis.configdrift``); any other unmatched dest means a
+#: config field got renamed out from under its flag.
+CLI_NON_CONFIG_DESTS = frozenset({
+    "category",          # workload construction (category -> Workload)
+    "app",               # workload construction (app name -> Workload)
+    "nodes",             # geometry shorthand -> width/height
+    "cycles",            # run bound, not config state
+    "static_rate",       # folded into the controller instance
+    "watchdog",          # shorthand -> watchdog_window
+    "timeout",           # run bound (wall-clock deadline)
+    "link_faults",       # folded into FaultConfig -> faults
+    "router_faults",     # folded into FaultConfig -> faults
+    "transient_faults",  # folded into FaultConfig -> faults
+    "fault_seed",        # folded into FaultConfig -> faults
+})
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -1,0 +1,299 @@
+"""CFG001: config / CLI / job-spec drift detection.
+
+Three descriptions of "a simulation point" must stay in sync:
+
+1. the :class:`~repro.config.SimulationConfig` dataclass fields,
+2. the ``python -m repro`` CLI flags built in ``build_parser()``,
+3. the :class:`~repro.harness.jobs.JobSpec` fields and the canonical
+   JSON payload its content hash (and therefore every result-cache key)
+   is computed from.
+
+Two drift classes have real teeth:
+
+- a **CLI flag whose dest matches no config field** (field renamed,
+  flag forgotten): the flag silently stops steering the simulation.
+  Flags that deliberately are not config fields (workload construction,
+  run bounds, fault shorthands) must be listed in a module-level
+  ``CLI_NON_CONFIG_DESTS`` allowlist next to the parser — with stale
+  allowlist entries flagged too, so the list cannot rot into "ignore
+  everything";
+- a **JobSpec field missing from ``canonical()``**: two specs differing
+  only in that field would share a content hash, and the result cache
+  would happily serve one point's results for the other.  This is the
+  worst silent-corruption bug the harness can have, which is why it is
+  checked statically here as well as dynamically in tests.
+
+The rule keys on structure, not paths: any analyzed file defining a
+``SimulationConfig`` dataclass, a ``build_parser`` function in a module
+that references that class, or a ``JobSpec`` dataclass with a
+``canonical`` method participates (which is also how the fixture corpus
+exercises it).  A ``build_parser`` in a module that never mentions
+``SimulationConfig`` (an unrelated CLI) is out of contract and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, Project, Rule, SourceFile
+
+__all__ = ["Cfg001ConfigDrift"]
+
+_CONFIG_CLASS = "SimulationConfig"
+_SPEC_CLASS = "JobSpec"
+_PARSER_FUNC = "build_parser"
+_ALLOWLIST_NAME = "CLI_NON_CONFIG_DESTS"
+
+
+def _references(tree: ast.Module, name: str) -> bool:
+    """True when the module mentions or defines *name* anywhere."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id == name:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == name:
+            return True
+        if isinstance(node, ast.alias) and node.name.split(".")[-1] == name:
+            return True
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return True
+    return False
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> Set[str]:
+    """Annotated field names of a dataclass body (``_private`` included)."""
+    fields: Set[str] = set()
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            fields.add(node.target.id)
+    return fields
+
+
+def _find_function(tree: ast.Module, name: str) -> Optional[ast.FunctionDef]:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _cli_dests(parser_func: ast.FunctionDef) -> List[Tuple[str, ast.Call]]:
+    """``(dest, call)`` for every optional-argument registration."""
+    dests: List[Tuple[str, ast.Call]] = []
+    for node in ast.walk(parser_func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            continue
+        explicit = next(
+            (
+                kw.value.value
+                for kw in node.keywords
+                if kw.arg == "dest"
+                and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+            ),
+            None,
+        )
+        if explicit is not None:
+            dests.append((explicit, node))
+            continue
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and arg.value.startswith("--")
+            ):
+                dests.append((arg.value[2:].replace("-", "_"), node))
+                break
+    return dests
+
+
+def _module_frozenset(
+    tree: ast.Module, name: str
+) -> Tuple[Optional[Set[str]], Optional[ast.Assign]]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    value = node.value
+                    if (
+                        isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id == "frozenset"
+                        and value.args
+                    ):
+                        value = value.args[0]
+                    if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+                        names: Set[str] = set()
+                        for element in value.elts:
+                            if isinstance(element, ast.Constant) and isinstance(
+                                element.value, str
+                            ):
+                                names.add(element.value)
+                            else:
+                                return None, node
+                        return names, node
+                    return None, node
+    return None, None
+
+
+def _canonical_keys(method: ast.FunctionDef) -> Set[str]:
+    """Top-level string keys of the payload dict in ``canonical()``."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            return {
+                key.value
+                for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+    return set()
+
+
+class Cfg001ConfigDrift(Rule):
+    """Drift between SimulationConfig, the CLI, and JobSpec.canonical."""
+
+    id = "CFG001"
+    summary = (
+        "SimulationConfig fields, CLI dests (with CLI_NON_CONFIG_DESTS "
+        "allowlist), and JobSpec.canonical() keys must stay in sync"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        config_fields: Optional[Set[str]] = None
+        for source in project:
+            config_cls = _find_class(source.tree, _CONFIG_CLASS)
+            if config_cls is not None and _is_dataclass(config_cls):
+                config_fields = _dataclass_fields(config_cls)
+                break
+        for source in project:
+            parser_func = _find_function(source.tree, _PARSER_FUNC)
+            if parser_func is not None and _references(
+                source.tree, _CONFIG_CLASS
+            ):
+                # Only the parser that actually steers SimulationConfig
+                # participates; unrelated CLIs (e.g. the analyzer's own)
+                # have no config contract to drift from.
+                yield from self._check_cli(source, parser_func, config_fields)
+            spec_cls = _find_class(source.tree, _SPEC_CLASS)
+            if spec_cls is not None and _is_dataclass(spec_cls):
+                yield from self._check_spec(source, spec_cls)
+
+    # ------------------------------------------------------------------
+    def _check_cli(
+        self,
+        source: SourceFile,
+        parser_func: ast.FunctionDef,
+        config_fields: Optional[Set[str]],
+    ) -> Iterator[Finding]:
+        if config_fields is None:
+            # Without the config dataclass in the analyzed set there is
+            # nothing to cross-check against (partial runs, e.g.
+            # pre-commit on a subset of changed files).
+            return
+        allowlist, allow_node = _module_frozenset(source.tree, _ALLOWLIST_NAME)
+        if allow_node is not None and allowlist is None:
+            yield source.finding(
+                self.id,
+                allow_node,
+                f"{_ALLOWLIST_NAME} must be a literal frozenset/tuple of "
+                "dest-name strings",
+            )
+            return
+        if allowlist is None:
+            yield source.finding(
+                self.id,
+                parser_func,
+                f"{_PARSER_FUNC} has no {_ALLOWLIST_NAME} allowlist in its "
+                "module; declare which CLI dests are deliberately not "
+                f"{_CONFIG_CLASS} fields",
+            )
+            return
+        dests = _cli_dests(parser_func)
+        seen: Set[str] = set()
+        for dest, call in dests:
+            seen.add(dest)
+            if dest not in config_fields and dest not in allowlist:
+                yield source.finding(
+                    self.id,
+                    call,
+                    f"CLI dest {dest!r} matches no {_CONFIG_CLASS} field "
+                    f"and is not declared in {_ALLOWLIST_NAME}; a renamed "
+                    "config field silently orphans its flag",
+                )
+        assert allow_node is not None
+        for name in sorted(allowlist & config_fields):
+            yield source.finding(
+                self.id,
+                allow_node,
+                f"{_ALLOWLIST_NAME} lists {name!r}, which IS a "
+                f"{_CONFIG_CLASS} field now; remove the stale allowlist "
+                "entry",
+            )
+        for name in sorted(allowlist - seen):
+            yield source.finding(
+                self.id,
+                allow_node,
+                f"{_ALLOWLIST_NAME} lists {name!r}, but {_PARSER_FUNC} "
+                "registers no such dest; remove the stale allowlist entry",
+            )
+
+    # ------------------------------------------------------------------
+    def _check_spec(
+        self, source: SourceFile, spec_cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        canonical = _find_method(spec_cls, "canonical")
+        if canonical is None:
+            yield source.finding(
+                self.id,
+                spec_cls,
+                f"{_SPEC_CLASS} has no canonical() method; the content "
+                "hash (and every cache key) needs a canonical encoding",
+            )
+            return
+        fields = _dataclass_fields(spec_cls)
+        keys = _canonical_keys(canonical)
+        for name in sorted(fields - keys):
+            yield source.finding(
+                self.id,
+                canonical,
+                f"{_SPEC_CLASS} field {name!r} is missing from the "
+                "canonical() payload: two specs differing only in "
+                f"{name!r} would collide on one content hash and the "
+                "result cache would serve the wrong physics",
+            )
+        for name in sorted(keys - fields):
+            yield source.finding(
+                self.id,
+                canonical,
+                f"canonical() encodes key {name!r}, which is not a "
+                f"{_SPEC_CLASS} field; the cache key includes phantom "
+                "state",
+            )

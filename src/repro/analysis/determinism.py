@@ -1,0 +1,243 @@
+"""Determinism rules (DET001-DET003).
+
+The simulator's headline guarantee is bit-identical results for the same
+:class:`~repro.harness.jobs.JobSpec` across serial runs, process pools,
+and the on-disk result cache.  Three static properties protect it inside
+the simulation hot paths (``repro/{network,sim,cpu,control,traffic}``):
+
+DET001
+    No wall-clock or entropy source: ``time.time()``, ``datetime.now()``,
+    ``os.urandom()``, stdlib ``random`` module calls, ``numpy.random``
+    module-level draws, and *unseeded* generator constructors.  One
+    such call makes a result depend on when/where it ran.
+DET002
+    No iteration over ``dict``/``set`` views without an explicit
+    ``sorted(...)``.  Python dict order is insertion order and set order
+    is hash-dependent; arbitration and aggregation loops must pin their
+    order explicitly so a refactor of construction order can never
+    reorder simulation events.
+DET003
+    Every RNG stream must come from :func:`repro.rng.child_rng` so it
+    derives from the run seed; ad-hoc ``numpy.random.default_rng(...)``
+    constructors fragment the seed discipline (two components can end up
+    sharing — or silently forking — a stream).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+)
+
+__all__ = ["Det001WallClock", "Det002UnsortedIteration", "Det003RngProvenance"]
+
+
+#: Exact dotted names that read a wall clock or an entropy pool.
+_CLOCK_AND_ENTROPY = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Module prefixes where *any* call is an entropy draw.
+_ENTROPY_PREFIXES: Tuple[str, ...] = ("random.", "secrets.")
+
+#: ``numpy.random`` attributes that construct seeded machinery rather
+#: than drawing from the hidden global stream.  Calls to anything else
+#: under ``numpy.random`` are legacy global-state draws (DET001); calls
+#: to these *without arguments* seed from the OS entropy pool (DET001);
+#: calls to these *with* arguments are seeded but still bypass
+#: ``repro.rng`` (DET003).
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.BitGenerator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+
+
+def _canonical_call(
+    node: ast.Call, aliases: Dict[str, str]
+) -> Optional[str]:
+    name = dotted_name(node.func, aliases)
+    if name is None:
+        return None
+    # ``import numpy as np`` resolves np.random.x; ``from numpy import
+    # random as npr`` resolves npr.x through the alias map already.
+    return name
+
+
+class Det001WallClock(Rule):
+    """Wall-clock and entropy sources inside simulation hot paths."""
+
+    id = "DET001"
+    summary = (
+        "no wall-clock/entropy source (time.*, datetime.now, os.urandom, "
+        "random.*, numpy.random global draws, unseeded constructors) in "
+        "simulation hot paths"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.sim_files():
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _canonical_call(node, aliases)
+            if name is None:
+                continue
+            if name in _CLOCK_AND_ENTROPY:
+                yield source.finding(
+                    self.id,
+                    node,
+                    f"call to {name}() in simulation code reads the wall "
+                    "clock or an entropy pool; results must be a pure "
+                    "function of the run seed (derive values from the "
+                    "config instead)",
+                )
+            elif name.startswith(_ENTROPY_PREFIXES):
+                yield source.finding(
+                    self.id,
+                    node,
+                    f"call to {name}() draws from hidden global RNG state; "
+                    "use a generator from repro.rng.child_rng(seed, name)",
+                )
+            elif name.startswith("numpy.random."):
+                if name not in _SEEDED_CONSTRUCTORS:
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"call to {name}() draws from numpy's hidden global "
+                        "stream; use a generator from "
+                        "repro.rng.child_rng(seed, name)",
+                    )
+                elif not node.args and not node.keywords:
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"unseeded {name}() seeds from OS entropy; pass an "
+                        "explicit seed (preferably via repro.rng.child_rng)",
+                    )
+
+
+_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+
+def _unordered_iterable(node: ast.AST) -> Optional[str]:
+    """Describe *node* when it is an unordered dict/set iterable."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _VIEW_METHODS
+        ):
+            owner = dotted_name(func.value) or "<expr>"
+            return f"{owner}.{func.attr}()"
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    return None
+
+
+class Det002UnsortedIteration(Rule):
+    """dict/set iteration without sorted() in simulation hot paths."""
+
+    id = "DET002"
+    summary = (
+        "iteration over dict views or sets must go through sorted(...) in "
+        "simulation hot paths"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.sim_files():
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                described = _unordered_iterable(candidate)
+                if described is not None:
+                    yield source.finding(
+                        self.id,
+                        candidate,
+                        f"iteration over {described} has no pinned order; "
+                        "wrap it in sorted(...) so simulation event order "
+                        "cannot depend on insertion/hash order",
+                    )
+
+
+class Det003RngProvenance(Rule):
+    """RNG constructors bypassing repro.rng in simulation hot paths."""
+
+    id = "DET003"
+    summary = (
+        "RNG streams in simulation hot paths must come from "
+        "repro.rng.child_rng, not ad-hoc numpy.random constructors"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.sim_files():
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _canonical_call(node, aliases)
+            if name in _SEEDED_CONSTRUCTORS and (node.args or node.keywords):
+                yield source.finding(
+                    self.id,
+                    node,
+                    f"{name}(...) constructs an RNG stream outside "
+                    "repro.rng; derive it with child_rng(seed, name) so "
+                    "every stream is rooted in the run seed and component "
+                    "streams stay independent",
+                )

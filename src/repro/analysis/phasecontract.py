@@ -1,0 +1,264 @@
+"""PHASE001: phase callables may only mutate state they declare.
+
+The simulator's cycle loop is an ordered pipeline of named phases
+(:mod:`repro.sim.pipeline`); the per-cycle order of operations is a
+documented contract (DESIGN.md §S21).  That contract is only as strong
+as the phases' isolation: a phase that quietly starts writing another
+phase's scratch state (say, ``ejection`` clobbering ``_ejected``)
+changes behavior in a way no signature or test name reveals.
+
+``repro/sim/simulator.py`` therefore declares, next to the pipeline
+construction, which simulator attributes each phase method may write::
+
+    PHASE_WRITES = {
+        "_network_phase": ("_ejected",),
+        ...
+    }
+
+This rule statically extracts every ``self.<attr> = ...`` /
+``self.<attr> op= ...`` in each declared method — including writes made
+through other ``self`` methods it calls, transitively — and fails on:
+
+- an **undeclared write**: the phase mutates simulator state it did not
+  declare;
+- a **stale declaration**: the contract lists an attribute the phase no
+  longer writes (the contract must stay honest, or nobody trusts it).
+
+The rule fires on any analyzed file that defines a module-level
+``PHASE_WRITES`` table, so new pipelines (and the test fixture corpus)
+get the same checking for free.  Conversely, a *sim-scope* module that
+constructs a ``PhasePipeline`` without declaring the table at all is
+flagged — the contract is mandatory wherever pipelines are built.
+
+Scope note: only *direct* attribute stores on ``self`` are tracked.
+Deep mutation (``self.stats.flit_hops += 1``, ``self.arr[i] = x``) is
+object-internal state owned by that component, not simulator-level
+phase state — the contract polices the latter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, Project, Rule, SourceFile
+
+__all__ = ["Phase001PhaseWrites"]
+
+_TABLE_NAME = "PHASE_WRITES"
+_PIPELINE_CLASS = "PhasePipeline"
+
+
+def _pipeline_construction(tree: ast.Module) -> Optional[ast.Call]:
+    """The first ``PhasePipeline(...)`` call in the module, if any.
+
+    A sim-scope module that builds a pipeline without declaring a
+    ``PHASE_WRITES`` contract has opted out of phase-isolation checking
+    entirely — which is itself a violation (the contract is mandatory
+    where pipelines are constructed, optional everywhere else).
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name == _PIPELINE_CLASS:
+                return node
+    return None
+
+
+def _module_constant(tree: ast.Module, name: str) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node
+    return None
+
+
+def _declared_writes(node: ast.Assign) -> Optional[Dict[str, Set[str]]]:
+    """Parse the ``PHASE_WRITES`` literal: method -> declared attrs."""
+    if not isinstance(node.value, ast.Dict):
+        return None
+    table: Dict[str, Set[str]] = {}
+    for key, value in zip(node.value.keys, node.value.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        elements: List[ast.expr]
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            elements = list(value.elts)
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "frozenset"
+        ):
+            if not value.args:
+                elements = []
+            elif isinstance(value.args[0], (ast.Tuple, ast.List, ast.Set)):
+                elements = list(value.args[0].elts)
+            else:
+                return None
+        else:
+            return None
+        attrs: Set[str] = set()
+        for element in elements:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            attrs.add(element.value)
+        table[key.value] = attrs
+    return table
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` when *node* is exactly ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _MethodFacts:
+    """Direct self-attribute writes and self-method calls of one method."""
+
+    def __init__(self, method: ast.FunctionDef):
+        self.name = method.name
+        #: attr -> first write site (for finding locations)
+        self.writes: Dict[str, ast.AST] = {}
+        self.calls: Set[str] = set()
+        for node in ast.walk(method):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Tuple):
+                    candidates: List[ast.expr] = list(target.elts)
+                else:
+                    candidates = [target]
+                for candidate in candidates:
+                    attr = _self_attr(candidate)
+                    if attr is not None:
+                        self.writes.setdefault(attr, candidate)
+            if isinstance(node, ast.Call):
+                called = _self_attr(node.func)
+                if called is not None:
+                    self.calls.add(called)
+
+
+def _transitive_writes(
+    start: str, facts: Dict[str, _MethodFacts]
+) -> Dict[str, Tuple[ast.AST, str]]:
+    """All reachable writes: attr -> (site, method that writes it)."""
+    writes: Dict[str, Tuple[ast.AST, str]] = {}
+    seen: Set[str] = set()
+    stack = [start]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in facts:
+            continue
+        seen.add(name)
+        fact = facts[name]
+        for attr, site in fact.writes.items():
+            writes.setdefault(attr, (site, name))
+        stack.extend(sorted(fact.calls))
+    return writes
+
+
+class Phase001PhaseWrites(Rule):
+    """Cross-phase attribute-write detection against PHASE_WRITES."""
+
+    id = "PHASE001"
+    summary = (
+        "pipeline phase methods may only write the self attributes they "
+        "declare in PHASE_WRITES (transitively through self calls)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project:
+            table_node = _module_constant(source.tree, _TABLE_NAME)
+            if table_node is None:
+                pipeline_call = (
+                    _pipeline_construction(source.tree)
+                    if source.in_sim_scope
+                    else None
+                )
+                if pipeline_call is not None:
+                    yield source.finding(
+                        self.id,
+                        pipeline_call,
+                        f"module builds a {_PIPELINE_CLASS} but declares no "
+                        f"{_TABLE_NAME} contract; declare which simulator "
+                        "attributes each phase method may write",
+                    )
+                continue
+            yield from self._check_file(source, table_node)
+
+    def _check_file(
+        self, source: SourceFile, table_node: ast.Assign
+    ) -> Iterator[Finding]:
+        declared = _declared_writes(table_node)
+        if declared is None:
+            yield source.finding(
+                self.id,
+                table_node,
+                f"{_TABLE_NAME} must be a literal dict of method name -> "
+                "tuple/list/frozenset of attribute-name strings so the "
+                "contract can be checked statically",
+            )
+            return
+
+        # Collect method facts per class; a declared method may live in
+        # any class of the module (the simulator owns them in practice).
+        facts_by_class: List[Dict[str, _MethodFacts]] = []
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                facts = {
+                    item.name: _MethodFacts(item)
+                    for item in node.body
+                    if isinstance(item, ast.FunctionDef)
+                }
+                facts_by_class.append(facts)
+
+        for method_name in sorted(declared):
+            allowed = declared[method_name]
+            facts = next(
+                (f for f in facts_by_class if method_name in f), None
+            )
+            if facts is None:
+                yield source.finding(
+                    self.id,
+                    table_node,
+                    f"{_TABLE_NAME} declares method {method_name!r} but no "
+                    "class in this module defines it (stale contract entry)",
+                )
+                continue
+            writes = _transitive_writes(method_name, facts)
+            for attr in sorted(set(writes) - allowed):
+                site, via = writes[attr]
+                through = "" if via == method_name else f" (via self.{via}())"
+                yield source.finding(
+                    self.id,
+                    site,
+                    f"phase method {method_name!r} writes undeclared "
+                    f"attribute self.{attr}{through}; declare it in "
+                    f"{_TABLE_NAME} or move the mutation to the owning "
+                    "phase",
+                )
+            for attr in sorted(allowed - set(writes)):
+                yield source.finding(
+                    self.id,
+                    table_node,
+                    f"{_TABLE_NAME} declares that {method_name!r} writes "
+                    f"self.{attr}, but no reachable code does (stale "
+                    "contract entry)",
+                )

@@ -1,0 +1,264 @@
+"""SCHEMA001: serialized-result field-set drift detection.
+
+``SimulationResult.to_dict()`` is the payload the content-addressed
+:class:`~repro.harness.cache.ResultCache` stores, keyed in part by
+``RESULT_SCHEMA_VERSION``.  Adding, removing, or renaming a serialized
+field without bumping the version silently poisons every warm cache:
+old entries deserialize into the new layout (or worse, half of them do).
+
+The defense is a *field hash*: ``repro/sim/results.py`` declares
+
+.. code-block:: python
+
+    RESULT_SCHEMA_FIELD_HASH = "<sha256>"
+
+where the hash pre-image is ``"v{RESULT_SCHEMA_VERSION}:" + ",".join(
+sorted(serialized field names))``.  This rule re-derives the field set
+statically from the AST of ``to_dict`` (the literal dict keys plus the
+``_ARRAY_FIELDS`` table) and recomputes the hash; any drift — a new
+field, a dropped field, or a version bump without a hash refresh —
+fails analysis with the expected value in the message.  Because the
+version is part of the pre-image, the only way to legitimately change
+the field set is to touch ``RESULT_SCHEMA_VERSION`` *and* the hash in
+the same commit, which is exactly the review surface we want.
+
+The rule also cross-checks ``to_dict`` against ``from_dict``: a field
+that is serialized but never restored (or read but never written) is
+drift of the same kind, caught before a cache round-trip can.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from typing import FrozenSet, Iterator, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, Project, Rule, SourceFile
+
+__all__ = ["Schema001ResultFieldHash", "field_hash"]
+
+#: Names this rule keys on inside the result module.
+_VERSION_NAME = "RESULT_SCHEMA_VERSION"
+_HASH_NAME = "RESULT_SCHEMA_FIELD_HASH"
+_ARRAY_TABLE_NAME = "_ARRAY_FIELDS"
+_RESULT_CLASS = "SimulationResult"
+
+
+def field_hash(version: int, fields: FrozenSet[str]) -> str:
+    """The checked constant's value for a (version, field-set) pair."""
+    preimage = f"v{version}:" + ",".join(sorted(fields))
+    return hashlib.sha256(preimage.encode("utf-8")).hexdigest()
+
+
+def _module_assign(tree: ast.Module, name: str) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == name
+                and node.value is not None
+            ):
+                assign = ast.Assign(targets=[node.target], value=node.value)
+                ast.copy_location(assign, node)
+                return assign
+    return None
+
+
+def _literal_str_keys(node: ast.AST) -> Set[str]:
+    """String keys of a dict literal (non-constant keys ignored)."""
+    keys: Set[str] = set()
+    if isinstance(node, ast.Dict):
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+    return keys
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _to_dict_fields(method: ast.FunctionDef) -> Set[str]:
+    """Top-level keys of the payload dict built by ``to_dict``.
+
+    The payload is recognized as the first dict literal assigned to a
+    name (``out = {...}``) or returned directly; nested dict literals
+    (sub-reports like ``power``) do not contribute keys.
+    """
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            return _literal_str_keys(node.value)
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            return _literal_str_keys(node.value)
+    return set()
+
+
+def _from_dict_fields(method: ast.FunctionDef) -> Set[str]:
+    """Keys read from the ``data`` mapping inside ``from_dict``."""
+    fields: Set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "data"
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            fields.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "data"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            fields.add(node.args[0].value)
+    return fields
+
+
+class Schema001ResultFieldHash(Rule):
+    """Result-schema drift: field set vs version hash vs from_dict."""
+
+    id = "SCHEMA001"
+    summary = (
+        "SimulationResult serialized fields must match "
+        "RESULT_SCHEMA_FIELD_HASH (bump RESULT_SCHEMA_VERSION on change) "
+        "and round-trip through from_dict"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project:
+            version_node = _module_assign(source.tree, _VERSION_NAME)
+            result_cls = _find_class(source.tree, _RESULT_CLASS)
+            if version_node is None or result_cls is None:
+                continue
+            yield from self._check_result_module(
+                source, version_node, result_cls
+            )
+
+    def _check_result_module(
+        self,
+        source: SourceFile,
+        version_node: ast.Assign,
+        result_cls: ast.ClassDef,
+    ) -> Iterator[Finding]:
+        if not (
+            isinstance(version_node.value, ast.Constant)
+            and isinstance(version_node.value.value, int)
+        ):
+            yield source.finding(
+                self.id,
+                version_node,
+                f"{_VERSION_NAME} must be a literal integer so the cache "
+                "key and the field hash can be derived statically",
+            )
+            return
+        version = version_node.value.value
+
+        to_dict = _find_method(result_cls, "to_dict")
+        from_dict = _find_method(result_cls, "from_dict")
+        if to_dict is None or from_dict is None:
+            yield source.finding(
+                self.id,
+                result_cls,
+                f"{_RESULT_CLASS} must define both to_dict and from_dict "
+                "(lossless serialization is what the result cache stores)",
+            )
+            return
+
+        array_fields: Set[str] = set()
+        table = _module_assign(source.tree, _ARRAY_TABLE_NAME)
+        if table is not None:
+            array_fields = _literal_str_keys(table.value)
+
+        serialized = frozenset(_to_dict_fields(to_dict) | array_fields)
+        restored = frozenset(_from_dict_fields(from_dict) | array_fields)
+
+        for name in sorted(serialized - restored):
+            yield source.finding(
+                self.id,
+                to_dict,
+                f"field {name!r} is serialized by to_dict but never read "
+                "back in from_dict; a cache round-trip would silently drop "
+                "it",
+            )
+        for name in sorted(restored - serialized):
+            yield source.finding(
+                self.id,
+                from_dict,
+                f"field {name!r} is read in from_dict but never written by "
+                "to_dict; restoring a cached result would raise or inject "
+                "a default silently",
+            )
+
+        expected = field_hash(version, serialized)
+        hash_node = _module_assign(source.tree, _HASH_NAME)
+        if hash_node is None:
+            yield source.finding(
+                self.id,
+                version_node,
+                f"missing {_HASH_NAME}; pin the serialized layout with "
+                f'{_HASH_NAME} = "{expected}"',
+            )
+            return
+        declared: Optional[str] = None
+        if isinstance(hash_node.value, ast.Constant) and isinstance(
+            hash_node.value.value, str
+        ):
+            declared = hash_node.value.value
+        if declared != expected:
+            yield source.finding(
+                self.id,
+                hash_node,
+                "serialized field set or schema version changed without "
+                f"updating the pinned layout: {_HASH_NAME} is "
+                f"{declared!r} but v{version} with fields "
+                f"[{', '.join(sorted(serialized))}] hashes to "
+                f"{expected!r}; if the layout really changed, bump "
+                f"{_VERSION_NAME} and set {_HASH_NAME} to the new value",
+            )
+
+
+def expected_hash_for_source(text: str, path: str = "<results>") -> Tuple[int, str]:
+    """Derive ``(version, expected hash)`` from result-module source.
+
+    Utility for tests and for regenerating the pinned constant after a
+    deliberate schema change.
+    """
+    tree = ast.parse(text, filename=path)
+    version_node = _module_assign(tree, _VERSION_NAME)
+    result_cls = _find_class(tree, _RESULT_CLASS)
+    if version_node is None or result_cls is None:
+        raise ValueError(f"{path} does not define a result schema")
+    if not (
+        isinstance(version_node.value, ast.Constant)
+        and isinstance(version_node.value.value, int)
+    ):
+        raise ValueError(f"{_VERSION_NAME} is not a literal int in {path}")
+    to_dict = _find_method(result_cls, "to_dict")
+    if to_dict is None:
+        raise ValueError(f"{_RESULT_CLASS}.to_dict missing in {path}")
+    array_fields: Set[str] = set()
+    table = _module_assign(tree, _ARRAY_TABLE_NAME)
+    if table is not None:
+        array_fields = _literal_str_keys(table.value)
+    fields = frozenset(_to_dict_fields(to_dict) | array_fields)
+    version = version_node.value.value
+    return version, field_hash(version, fields)

@@ -31,7 +31,7 @@ import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.guardrails.errors import GuardrailError
 from repro.harness.cache import ResultCache
@@ -137,7 +137,7 @@ class HarnessReport:
         sim_cycles = sum(res.cycles for _, res in executed)
         sim_flits = sum(res.ejected_flits for _, res in executed)
         exec_seconds = sum(rec.seconds for rec, _ in executed)
-        phase_seconds: dict = {}
+        phase_seconds: Dict[str, float] = {}
         for _, res in executed:
             if res.perf is not None:
                 for name, secs in res.perf.phase_seconds.items():
@@ -170,7 +170,9 @@ class HarnessReport:
         }
 
 
-def _timed_run(spec: JobSpec):
+def _timed_run(
+    spec: JobSpec,
+) -> Tuple[Optional[SimulationResult], float, Optional[str]]:
     """Worker entry point: run one spec, returning (result, secs, error).
 
     Guardrail aborts come back as strings — exception instances with
@@ -250,16 +252,22 @@ def run_jobs(
     for spec in specs:
         if not isinstance(spec, JobSpec):
             raise TypeError(f"expected JobSpec, got {type(spec).__name__}")
-    if cache is None:
-        cache = os.environ.get("REPRO_CACHE_DIR") or None
-    elif cache is False:
-        cache = None
-    if cache is not None and not isinstance(cache, ResultCache):
-        cache = ResultCache(cache)
+    result_cache: Optional[ResultCache]
+    if isinstance(cache, ResultCache):
+        result_cache = cache
+    elif isinstance(cache, bool):
+        # Only ``False`` is documented; a bare ``True`` names no
+        # directory to build a cache in, so both mean "no cache".
+        result_cache = None
+    elif cache is None:
+        env_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        result_cache = ResultCache(env_dir) if env_dir else None
+    else:
+        result_cache = ResultCache(cache)
     jobs = default_jobs() if jobs is None else resolve_jobs(jobs)
 
     results: List[Optional[SimulationResult]] = [None] * len(specs)
-    records: List[Optional[JobRecord]] = [None] * len(specs)
+    by_index: Dict[int, JobRecord] = {}
     on_record = progress if callable(progress) else None
     meter = _Progress(progress is True, description, len(specs))
     start = time.perf_counter()
@@ -267,36 +275,43 @@ def run_jobs(
     # ---- cache pass ---------------------------------------------------
     pending: List[int] = []
     for i, spec in enumerate(specs):
-        hit = cache.get(spec) if cache is not None else None
+        hit = result_cache.get(spec) if result_cache is not None else None
         if hit is not None:
             results[i] = hit
-            records[i] = JobRecord(
+            record = JobRecord(
                 label=spec.label(),
                 key=spec.content_hash(),
                 cached=True,
                 seconds=0.0,
             )
-            meter.update(records[i])
+            by_index[i] = record
+            meter.update(record)
             if on_record:
-                on_record(records[i])
+                on_record(record)
         else:
             pending.append(i)
 
     # ---- execution pass ----------------------------------------------
-    def finish(i: int, result, seconds: float, error: Optional[str]) -> None:
+    def finish(
+        i: int,
+        result: Optional[SimulationResult],
+        seconds: float,
+        error: Optional[str],
+    ) -> None:
         results[i] = result
-        records[i] = JobRecord(
+        record = JobRecord(
             label=specs[i].label(),
             key=specs[i].content_hash(),
             cached=False,
             seconds=seconds,
             error=error,
         )
-        if cache is not None and result is not None:
-            cache.put(specs[i], result)
-        meter.update(records[i])
+        by_index[i] = record
+        if result_cache is not None and result is not None:
+            result_cache.put(specs[i], result)
+        meter.update(record)
         if on_record:
-            on_record(records[i])
+            on_record(record)
 
     workers = min(jobs, len(pending)) if pending else jobs
     if workers <= 1:
@@ -314,9 +329,9 @@ def run_jobs(
     meter.finish()
     return HarnessReport(
         results=results,
-        records=records,
+        records=[by_index[i] for i in range(len(specs))],
         workers=workers,
         wall_seconds=time.perf_counter() - start,
         description=description,
-        cache_stats=cache.stats() if cache is not None else {},
+        cache_stats=result_cache.stats() if result_cache is not None else {},
     )

@@ -43,6 +43,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.network.base import EjectedFlits, NocModel
+from repro.rng import child_rng
 from repro.observability.tracer import EV_DEFLECT, EV_EJECT, EV_HOP, EV_INJECT
 from repro.network.flit import (
     CBIT_MASK,
@@ -688,7 +689,7 @@ class RouterEngine(NocModel):
         self.hop_latency = hop_latency
         self.arbitration = arbitration
         self._arb = ARBITRATION_POLICIES[arbitration]()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else child_rng(0, "arbitration")
 
         n, p = self.num_nodes, NUM_PORTS
         self._ring_meta = np.zeros((hop_latency, n * p), dtype=np.int64)

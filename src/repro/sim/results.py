@@ -28,6 +28,15 @@ __all__ = ["SimulationResult", "RESULT_SCHEMA_VERSION"]
 #: optional ``perf`` counters snapshot joined the layout.
 RESULT_SCHEMA_VERSION = 2
 
+#: sha256 of ``"v{RESULT_SCHEMA_VERSION}:" + ",".join(sorted(fields))``
+#: over every serialized field name.  Checked statically by the
+#: SCHEMA001 rule (``repro.analysis.schema``): changing the serialized
+#: layout without bumping RESULT_SCHEMA_VERSION *and* refreshing this
+#: pin fails ``python -m repro.analysis``.
+RESULT_SCHEMA_FIELD_HASH = (
+    "97225e03148c462d343be3460859ec85697cd4f624aeb3418d7d0b22025af7ea"
+)
+
 _ARRAY_FIELDS = {
     "ipc": float,
     "active": bool,
@@ -184,7 +193,7 @@ class SimulationResult:
             ),
             "perf": None if self.perf is None else self.perf.to_dict(),
         }
-        for name, kind in _ARRAY_FIELDS.items():
+        for name, kind in sorted(_ARRAY_FIELDS.items()):
             values = np.asarray(getattr(self, name)).astype(kind)
             out[name] = (
                 _encode_float_list(values) if kind is float else values.tolist()
@@ -206,7 +215,7 @@ class SimulationResult:
                 if kind is float
                 else np.asarray(data[name], dtype=kind)
             )
-            for name, kind in _ARRAY_FIELDS.items()
+            for name, kind in sorted(_ARRAY_FIELDS.items())
         }
         hist = data["latency_hist"]
         guard = data["guardrails"]

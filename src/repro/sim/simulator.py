@@ -59,7 +59,26 @@ from repro.traffic.locality import (
     UniformStriping,
 )
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "PHASE_WRITES"]
+
+#: Phase-isolation contract, checked statically by the PHASE001 rule
+#: (``repro.analysis.phasecontract``): each pipeline phase method (and
+#: guardrail hook) may only write the simulator attributes listed here,
+#: including writes made through other ``self`` methods it calls.  An
+#: undeclared write — or a stale entry for a write that no longer
+#: happens — fails ``python -m repro.analysis``.
+PHASE_WRITES = {
+    "_behavior_phase": (),
+    "_network_phase": ("_ejected",),
+    "_invariants_hook": (),
+    "_watchdog_hook": (),
+    "_ejection_phase": (),
+    "_epoch_phase": (
+        "_epoch_start_hops",
+        "_epoch_start_insns",
+        "control_flits_sent",
+    ),
+}
 
 
 def _build_topology(config: SimulationConfig):
@@ -110,7 +129,7 @@ class Simulator:
         # in which case the run loop stays uninstrumented and the only
         # residual cost is a handful of is-None branches.
         self.phase_timer = PhaseTimer() if config.profile else None
-        self.tracer = None
+        self.tracer: Optional[FlitTracer] = None
         if config.trace:
             salt = int(child_rng(config.seed, "trace").integers(0, 2**63))
             self.tracer = FlitTracer(
@@ -194,9 +213,11 @@ class Simulator:
         self._ejected = self.network.step(cycle)
 
     def _invariants_hook(self, cycle: int) -> None:
+        assert self.checker is not None  # only registered when enabled
         self.checker.after_step(cycle, self._ejected)
 
     def _watchdog_hook(self, cycle: int) -> None:
+        assert self.watchdog is not None  # only registered when enabled
         self.watchdog.after_step(cycle, self.network)
 
     def _ejection_phase(self, cycle: int) -> None:
@@ -248,17 +269,24 @@ class Simulator:
             )
         if epoch < 1:
             raise ValueError(f"epoch must be >= 1 (got epoch={epoch})")
-        start_time = time.monotonic() if deadline is not None else 0.0
+        # Wall-clock reads below are deliberate: they enforce the run's
+        # real-time budget and measure host cost; nothing they produce
+        # feeds simulated state.
+        start_time = (
+            time.monotonic() if deadline is not None else 0.0  # repro: noqa[DET001]
+        )
         end = self.cycle + cycles
         self._observe = self.controller.observes_ejections
         self.pipeline.set_period("epoch", epoch)
         cycle_fns, periodic = self.pipeline.compiled(self.phase_timer)
-        wall_start = time.perf_counter()
+        wall_start = time.perf_counter()  # repro: noqa[DET001]
         try:
             cycle = self.cycle
             while cycle < end:
                 if deadline is not None and cycle % 256 == 0:
-                    elapsed = time.monotonic() - start_time
+                    elapsed = (
+                        time.monotonic() - start_time  # repro: noqa[DET001]
+                    )
                     if elapsed > deadline:
                         raise SimulationTimeout(cycle, elapsed, deadline)
                 for fn in cycle_fns:
@@ -268,7 +296,9 @@ class Simulator:
                     if cycle % every == 0:
                         fn(cycle)
         finally:
-            self._wall_seconds += time.perf_counter() - wall_start
+            self._wall_seconds += (
+                time.perf_counter() - wall_start  # repro: noqa[DET001]
+            )
         return self.result()
 
     # ------------------------------------------------------------------

@@ -24,6 +24,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.rng import child_rng
+
 __all__ = [
     "ApplicationSpec",
     "APPLICATION_CATALOG",
@@ -145,7 +147,7 @@ class ApplicationBehaviorArray:
         self._mu, self._sigma = _lognormal_params(mean, var)
 
         self._phase_mult = np.ones(self.num_nodes)
-        rng = seed_rng if seed_rng is not None else np.random.default_rng(0)
+        rng = seed_rng if seed_rng is not None else child_rng(0, "phase-init")
         self._phase_timer = rng.geometric(
             1.0 / self.phase_length, size=self.num_nodes
         ).astype(np.int64)

@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.rng import child_rng
 from repro.traffic.locality import ExponentialLocality
 
 __all__ = ["HotspotLocality"]
@@ -56,7 +57,7 @@ class HotspotLocality:
         self._background = ExponentialLocality(
             topology, mean_distance=background_mean_distance
         )
-        rng = seed_rng if seed_rng is not None else np.random.default_rng(0)
+        rng = seed_rng if seed_rng is not None else child_rng(0, "hotspot")
         if hot_nodes is not None:
             hot = np.asarray(hot_nodes, dtype=np.int64)
             if hot.size == 0:

@@ -64,7 +64,7 @@ class Workload:
 def _apps_in_levels(levels: str) -> List[str]:
     names = [
         name
-        for name, spec in APPLICATION_CATALOG.items()
+        for name, spec in sorted(APPLICATION_CATALOG.items())
         if intensity_class(spec.mean_ipf) in set(levels)
     ]
     if not names:

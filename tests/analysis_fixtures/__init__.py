@@ -1,0 +1,8 @@
+"""Fixture corpus for :mod:`repro.analysis` (see test_analysis.py).
+
+Each ``<rule>_*.py`` module deliberately violates exactly one rule;
+``clean_ok.py`` exercises the idioms every rule must accept.  The
+expected findings (rule id, line, message fragment) are asserted
+exactly in ``tests/test_analysis.py`` — edit these files and that test
+together.
+"""

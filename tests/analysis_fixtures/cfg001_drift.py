@@ -1,0 +1,31 @@
+"""CFG001 fixture: config/CLI/JobSpec drift (5 findings)."""
+
+import argparse
+from dataclasses import dataclass
+
+CLI_NON_CONFIG_DESTS = frozenset({"cycles", "seed", "phantom"})
+
+
+@dataclass
+class SimulationConfig:
+    seed: int = 1
+    width: int = 4
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int)
+    parser.add_argument("--width", type=int)
+    parser.add_argument("--cycles", type=int)
+    parser.add_argument("--typo-field", type=int)
+    return parser
+
+
+@dataclass
+class JobSpec:
+    seed: int
+    cycles: int
+
+    def canonical(self):
+        payload = {"seed": self.seed, "extra_key": 0}
+        return payload

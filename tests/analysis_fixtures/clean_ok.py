@@ -1,0 +1,12 @@
+# repro: analysis-scope=sim
+"""Clean fixture: deterministic idioms every rule must accept."""
+
+from repro.rng import child_rng
+
+
+def totals(table, seed):
+    rng = child_rng(seed, "clean")
+    out = 0.0
+    for _key, value in sorted(table.items()):
+        out += value + float(rng.random())
+    return out

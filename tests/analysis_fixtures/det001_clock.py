@@ -1,0 +1,18 @@
+# repro: analysis-scope=sim
+"""DET001 fixture: wall-clock and entropy sources (5 findings)."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def snapshot():
+    stamp = time.time()
+    noise = os.urandom(8)
+    pick = random.random()
+    draw = np.random.random()
+    unseeded = np.random.default_rng()
+    allowed = time.time()  # repro: noqa[DET001]
+    return stamp, noise, pick, draw, unseeded, allowed

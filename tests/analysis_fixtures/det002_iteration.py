@@ -1,0 +1,17 @@
+# repro: analysis-scope=sim
+"""DET002 fixture: unordered dict/set iteration (4 findings)."""
+
+
+def totals(table):
+    out = 0.0
+    for key in table.keys():
+        out += table[key]
+    values = [v for v in table.values()]
+    tags = {t for t in {"a", "b"}}
+    for item in set(values):
+        out += item
+    for key in sorted(table.keys()):
+        out += table[key]
+    for _pair in table.items():  # repro: noqa
+        out += 1.0
+    return out, values, tags

@@ -1,0 +1,15 @@
+# repro: analysis-scope=sim
+"""DET003 fixture: ad-hoc seeded RNG constructors (2 findings)."""
+
+import numpy as np
+from numpy.random import PCG64
+
+from repro.rng import child_rng
+
+
+def make_streams(seed):
+    direct = np.random.default_rng(seed)
+    bitgen = PCG64(seed=seed)
+    shared = np.random.default_rng(123)  # repro: noqa[DET003]
+    good = child_rng(seed, "fixture")
+    return direct, bitgen, shared, good

@@ -1,0 +1,20 @@
+"""PHASE001 fixture: phase-contract drift (4 findings)."""
+
+PHASE_WRITES = {
+    "step_network": ("ejected",),
+    "step_epoch": ("counter", "ghost"),
+    "step_missing": (),
+}
+
+
+class MiniSim:
+    def step_network(self, cycle):
+        self.ejected = cycle
+        self.sneaky = cycle
+
+    def step_epoch(self, cycle):
+        self.counter = cycle
+        self._refresh()
+
+    def _refresh(self):
+        self.hidden = 0

@@ -1,0 +1,17 @@
+"""SCHEMA001 fixture: field drift and a stale layout hash (3 findings)."""
+
+RESULT_SCHEMA_VERSION = 7
+RESULT_SCHEMA_FIELD_HASH = "not-the-right-hash"
+
+
+class SimulationResult:
+    def to_dict(self):
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "cycles": 1,
+            "extra": 2,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["schema"], data["cycles"], data.get("legacy"))
