@@ -49,8 +49,8 @@ from repro import (
 from repro.guardrails import FaultConfig, GuardrailError
 
 __all__ = ["main", "build_parser", "build_sweep_parser",
-           "build_profile_parser", "profile_main", "sweep_main",
-           "CLI_NON_CONFIG_DESTS"]
+           "build_profile_parser", "build_chaos_parser", "chaos_main",
+           "profile_main", "sweep_main", "CLI_NON_CONFIG_DESTS"]
 
 #: CLI dests that deliberately are NOT SimulationConfig fields: they
 #: select or construct config values (workload, geometry, run bounds,
@@ -70,6 +70,7 @@ CLI_NON_CONFIG_DESTS = frozenset({
     "router_faults",     # folded into FaultConfig -> faults
     "transient_faults",  # folded into FaultConfig -> faults
     "fault_seed",        # folded into FaultConfig -> faults
+    "chaos_script",      # campaign JSON file -> ChaosConfig -> chaos
 })
 
 
@@ -157,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-link per-cycle probability of a one-cycle fault",
     )
     faults.add_argument("--fault-seed", type=int, default=0)
+    faults.add_argument(
+        "--chaos-script", default=None, metavar="PATH",
+        help="JSON chaos campaign (ChaosConfig) applied mid-run; see "
+             "examples/chaos_demo.json and 'python -m repro chaos'",
+    )
     return parser
 
 
@@ -201,6 +207,113 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="suppress the live progress line on stderr",
     )
     return parser
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run one chaos campaign and report per-event recovery, "
+        "availability, and flit-loss accounting.  Exits nonzero if any "
+        "in-network flit was lost (the CI chaos smoke gate).",
+    )
+    parser.add_argument(
+        "--script", default="examples/chaos_demo.json", metavar="PATH",
+        help="JSON chaos campaign (default examples/chaos_demo.json)",
+    )
+    parser.add_argument("--nodes", type=int, default=16,
+                        help="node count (square mesh; default 16)")
+    parser.add_argument("--cycles", type=int, default=5_000)
+    parser.add_argument("--category", choices=WORKLOAD_CATEGORIES,
+                        default="H")
+    parser.add_argument("--network", choices=("bless", "buffered", "hybrid"),
+                        default="bless")
+    parser.add_argument("--topology", choices=("mesh", "torus"),
+                        default="mesh")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--epoch", type=int, default=2_000)
+    parser.add_argument(
+        "--controller", choices=("none", "central", "static"),
+        default="none",
+    )
+    parser.add_argument("--static-rate", type=float, default=0.5)
+    parser.add_argument(
+        "--no-invariants", action="store_true",
+        help="skip the per-cycle losslessness invariant checks "
+             "(they are ON by default here, unlike plain runs)",
+    )
+    parser.add_argument(
+        "--watchdog", type=int, default=2_000, metavar="WINDOW",
+        help="progress-watchdog window in cycles, ON by default here "
+             "so a wedged campaign trips instead of hanging (0 = off)",
+    )
+    return parser
+
+
+def chaos_main(argv=None) -> int:
+    from repro.chaos import ChaosConfig
+
+    args = build_chaos_parser().parse_args(argv)
+    try:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            chaos = ChaosConfig.from_json(handle.read())
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"cannot load chaos script {args.script!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    workload = make_category_workload(args.category, args.nodes, rng)
+    config = SimulationConfig(
+        workload,
+        seed=args.seed,
+        epoch=args.epoch,
+        network=args.network,
+        topology=args.topology,
+        chaos=chaos,
+        check_invariants=not args.no_invariants,
+        watchdog_window=args.watchdog,
+    )
+    simulator = Simulator(config)
+    simulator.controller = _build_controller(args, simulator.network)
+    try:
+        result = simulator.run(args.cycles)
+    except GuardrailError as error:
+        print(f"guardrail abort: {error}", file=sys.stderr)
+        return 2
+    report = result.chaos
+    print(f"chaos campaign: {args.script} on {args.category}/"
+          f"{args.nodes}n/{args.network}, seed {args.seed}, "
+          f"{args.cycles} cycles")
+    for ev in report.events:
+        target = ""
+        if ev.kind.startswith("link"):
+            target = f" ({ev.node}:{ev.port})"
+        elif ev.kind.startswith("router"):
+            target = f" ({ev.node})"
+        if ev.skipped:
+            status = f"skipped: {ev.reason}"
+        elif ev.applied_cycle < 0:
+            status = "never applied (beyond horizon?)"
+        else:
+            status = f"applied @{ev.applied_cycle}"
+            if ev.reason:
+                status += f" ({ev.reason})"
+            if ev.recovery_cycles >= 0:
+                status += f", recovered in {ev.recovery_cycles}cy"
+        print(f"  @{ev.cycle:>6} {ev.kind:<16}{target:<9} {status}")
+    print(f"report: {report.summary()}")
+    print(f"flits: {result.injected_flits} injected, "
+          f"{result.ejected_flits} ejected, "
+          f"{result.in_flight_flits} in flight, "
+          f"{report.orphaned_flits} orphaned pre-injection packet(s)")
+    print(result.summary())
+    if not result.flit_conservation_ok:
+        lost = (result.injected_flits - result.ejected_flits
+                - result.in_flight_flits)
+        print(f"FLIT LOSS: {lost} in-network flit(s) unaccounted for",
+              file=sys.stderr)
+        return 1
+    print("flit conservation OK (zero in-network loss)")
+    return 0
 
 
 def build_profile_parser() -> argparse.ArgumentParser:
@@ -377,6 +490,8 @@ def main(argv=None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.app:
         workload = make_homogeneous_workload(args.app, args.nodes)
@@ -392,6 +507,16 @@ def main(argv=None) -> int:
             transient_fault_rate=args.transient_faults,
             seed=args.fault_seed,
         )
+    chaos = None
+    if args.chaos_script:
+        from repro.chaos import ChaosConfig
+        try:
+            with open(args.chaos_script, "r", encoding="utf-8") as handle:
+                chaos = ChaosConfig.from_json(handle.read())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"cannot load chaos script {args.chaos_script!r}: {exc}",
+                  file=sys.stderr)
+            return 2
     config = SimulationConfig(
         workload,
         seed=args.seed,
@@ -408,6 +533,7 @@ def main(argv=None) -> int:
         watchdog_window=args.watchdog,
         max_flit_age=args.max_flit_age,
         faults=faults,
+        chaos=chaos,
     )
     simulator = Simulator(config)
     # The distributed controller needs the network it instruments.
@@ -430,6 +556,8 @@ def main(argv=None) -> int:
     print(result.summary())
     if result.guardrails is not None and result.guardrails.active:
         print(f"guardrails: {result.guardrails.summary()}")
+    if result.chaos is not None:
+        print(f"chaos: {result.chaos.summary()}")
     print(f"system throughput: {result.system_throughput:.2f} insns/cycle   "
           f"weighted by node: {result.throughput_per_node:.3f} IPC/node")
     print(f"admission starvation: {result.mean_port_starvation:.3f}   "

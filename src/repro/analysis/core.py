@@ -51,7 +51,9 @@ __all__ = [
 ]
 
 #: Packages whose files are simulation hot paths (the DET rules' scope).
-SIM_PACKAGES: Tuple[str, ...] = ("network", "sim", "cpu", "control", "traffic")
+SIM_PACKAGES: Tuple[str, ...] = (
+    "network", "sim", "cpu", "control", "traffic", "chaos",
+)
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
 _SIM_SCOPE_RE = re.compile(r"#\s*repro:\s*analysis-scope\s*=\s*sim\b")

@@ -1,0 +1,113 @@
+"""Control-plane failure semantics: the resilient controller wrapper.
+
+The paper's central congestion controller is a single point of failure
+its evaluation never stresses.  :class:`ResilientController` wraps any
+:class:`~repro.control.base.Controller` and gives it fail-stop
+semantics with one of three degraded modes while it is down:
+
+- ``freeze``: keep the last installed throttle rates (the network runs
+  open-loop on stale decisions);
+- ``decay``: multiplicatively relax the last rates toward zero each
+  epoch (stale throttles age out, trading congestion protection for
+  throughput);
+- ``failover``: delegate epochs to a standby
+  :class:`~repro.control.distributed.DistributedController` — the
+  paper's §6.6 comparison scheme, which needs no central coordinator
+  and is therefore a natural warm spare.
+
+The wrapper is driven by ``controller_down`` / ``controller_up`` chaos
+events via :meth:`fail` / :meth:`restore`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.base import Controller, EpochView
+
+__all__ = ["ResilientController"]
+
+#: Rates below this decay to exactly zero (matches the distributed
+#: controller's cutoff so tiny stale throttles do not linger forever).
+_RATE_EPSILON = 0.01
+
+
+class ResilientController(Controller):
+    """Fail-stop wrapper around a primary congestion controller."""
+
+    def __init__(
+        self,
+        primary: Controller,
+        mode: str = "freeze",
+        decay: float = 0.5,
+        standby: Controller = None,
+    ):
+        if mode not in ("freeze", "decay", "failover"):
+            raise ValueError(f"unknown degraded mode {mode!r}")
+        if mode == "failover" and standby is None:
+            raise ValueError("failover mode needs a standby controller")
+        if not 0.0 <= decay <= 1.0:
+            raise ValueError("decay must be in [0, 1]")
+        self.primary = primary
+        self.mode = mode
+        self.decay = decay
+        self.standby = standby
+        self.down = False
+        self._last_rates = None
+        self.downtime_epochs = 0
+        self.failovers = 0
+        # Instance attribute shadows the class attribute: the simulator
+        # reads this once per run() to decide whether to feed ejections.
+        self.observes_ejections = bool(
+            primary.observes_ejections
+            or (standby is not None and standby.observes_ejections)
+        )
+
+    # ------------------------------------------------------------------
+    # Chaos-event entry points
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        if self.down:
+            return
+        self.down = True
+        if self.mode == "failover":
+            self.failovers += 1
+
+    def restore(self) -> None:
+        self.down = False
+
+    # ------------------------------------------------------------------
+    # Controller interface
+    # ------------------------------------------------------------------
+    def on_epoch(self, view: EpochView) -> np.ndarray:
+        if not self.down:
+            rates = np.asarray(self.primary.on_epoch(view), dtype=float)
+            self._last_rates = rates.copy()
+            return rates
+        self.downtime_epochs += 1
+        if self.mode == "failover":
+            return np.asarray(self.standby.on_epoch(view), dtype=float)
+        if self._last_rates is None:
+            return np.zeros(view.active.shape[0])
+        if self.mode == "decay":
+            self._last_rates = self._last_rates * self.decay
+            self._last_rates[self._last_rates < _RATE_EPSILON] = 0.0
+        return self._last_rates.copy()
+
+    def on_ejected(self, ejected) -> None:
+        if self.primary.observes_ejections:
+            self.primary.on_ejected(ejected)
+        if (
+            self.down
+            and self.mode == "failover"
+            and self.standby.observes_ejections
+        ):
+            self.standby.on_ejected(ejected)
+
+    def describe(self) -> str:
+        inner = self.primary.describe()
+        if self.mode == "failover":
+            return (
+                f"Resilient({inner}, failover->{self.standby.describe()})"
+            )
+        return f"Resilient({inner}, degraded={self.mode})"

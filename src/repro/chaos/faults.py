@@ -1,0 +1,275 @@
+"""Dynamic extension of the static guardrail fault model.
+
+:class:`~repro.guardrails.faults.FaultModel` draws one fault set before
+cycle 0 and never changes it.  :class:`DynamicFaultModel` keeps the
+same interface the network/checker stack consumes (``link_up``,
+``alive_routers``, ``remap``, ``healthy_distance``, ``transient_down``)
+but supports **in-place** mid-run transitions.
+
+In-place matters: at construction time the network aliases
+``fault_model.link_up`` (``NocModel.link_up`` *is* this array), the
+invariant checker holds a raveled view of it (``_allowed_slots``) and a
+reference to ``alive_routers``.  Every mutation here therefore writes
+through those shared arrays rather than rebinding them, so the whole
+stack observes a topology change the instant it happens with no
+re-wiring hooks for the hot arrays.  (Routing tables — the healthy
+distance cache — *are* rebuilt via an explicit
+``RouterEngine.on_topology_change`` call, made by the chaos engine
+after each transition.)
+
+The model also tracks a **quiesce** mask: links the chaos engine is
+draining before a hard down.  Quiescing links stay up (losslessness —
+a bufferless router may still deflect over them as a last resort) but
+are excluded from preferred allocation by folding them into
+:meth:`transient_down`, which both router engines already honor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.guardrails.faults import FaultConfig, FaultModel
+from repro.topology.mesh import NUM_PORTS
+
+__all__ = ["DynamicFaultModel"]
+
+
+class DynamicFaultModel(FaultModel):
+    """A fault model whose fault set changes while the run is live."""
+
+    def __init__(self, topology, static_config=None):
+        if static_config is not None and static_config.any_faults:
+            # Start from the statically sampled fault set, then mutate.
+            super().__init__(topology, static_config)
+            # The static constructor may alias topology.link_exists via
+            # `link_exists & ~failed`; that expression always allocates,
+            # so link_up is already a private array here.
+        else:
+            self.topology = topology
+            self.config = static_config or FaultConfig()
+            self._seed = int(self.config.seed)
+            self._canonical = self._canonical_link_ids(topology)
+            self.alive_routers = np.ones(topology.num_nodes, dtype=bool)
+            # Never alias topology.link_exists: chaos mutates this array.
+            self.link_up = topology.link_exists.copy()
+            self.num_failed_routers = 0
+            self.num_failed_links = 0
+            self.remap = np.arange(topology.num_nodes, dtype=np.int64)
+            self.transient_fault_rate = self.config.transient_fault_rate
+            self._distance = None
+        #: healthy links currently draining ahead of a hard down; folded
+        #: into transient_down so allocation avoids them while they stay
+        #: legal for deflection fallback
+        self.quiescing = np.zeros_like(self.link_up)
+        #: links taken down by chaos link_down events (vs. static faults
+        #: or router-down side effects) — link_up restores consult this
+        self._chaos_link_down = np.zeros_like(self.link_up)
+        #: routers taken down by chaos (only these may be revived)
+        self._chaos_router_down = np.zeros(topology.num_nodes, dtype=bool)
+        #: the pre-chaos baseline topology (static faults applied)
+        self._static_link_up = self.link_up.copy()
+        self._base_transient = float(self.transient_fault_rate)
+
+    # ------------------------------------------------------------------
+    # Safety probes
+    # ------------------------------------------------------------------
+    @property
+    def any_chaos_faults(self) -> bool:
+        """Any chaos-induced (non-static) fault currently in effect?"""
+        return bool(
+            self._chaos_link_down.any() or self._chaos_router_down.any()
+        )
+
+    @property
+    def any_quiescing(self) -> bool:
+        """Any link currently draining ahead of a hard down?"""
+        return bool(self.quiescing.any())
+
+    def link_would_disconnect(self, node: int, port: int) -> bool:
+        """Would downing (node, port) split the live routers?"""
+        link_up = self.link_up.copy()
+        self._clear_link(link_up, node, port)
+        return not self._connected(
+            self.alive_routers, link_up,
+            self.topology.neighbor.astype(np.int64),
+        )
+
+    def router_would_disconnect(self, node: int) -> bool:
+        """Would fail-stopping *node* split the remaining live routers?"""
+        alive = self.alive_routers.copy()
+        alive[node] = False
+        if not alive.any():
+            return True
+        link_up = self.link_up.copy()
+        self._clear_router_links(link_up, node)
+        return not self._connected(
+            alive, link_up, self.topology.neighbor.astype(np.int64)
+        )
+
+    # ------------------------------------------------------------------
+    # Quiesce (drain) control
+    # ------------------------------------------------------------------
+    def quiesce_link(self, node: int, port: int) -> None:
+        """Stop preferring (node, port) in both directions."""
+        self.quiescing[node, port] = True
+        neighbor = int(self.topology.neighbor[node, port])
+        self.quiescing[neighbor, int(self.topology.opposite[port])] = True
+        self._distance = None
+
+    def quiesce_router_inbound(self, node: int) -> None:
+        """Stop sending *toward* router ``node`` (drain it outward).
+
+        Only inbound directions quiesce: the dying router keeps all of
+        its own output links preferred so buffered flits can drain out.
+        Quiescing both directions would deadlock a buffered router whose
+        only escape ports were de-preferred.
+        """
+        neighbor = self.topology.neighbor
+        for port in range(NUM_PORTS):
+            if self.link_up[node, port]:
+                m = int(neighbor[node, port])
+                self.quiescing[m, int(self.topology.opposite[port])] = True
+        self._distance = None
+
+    def unquiesce_link(self, node: int, port: int) -> None:
+        self.quiescing[node, port] = False
+        neighbor = int(self.topology.neighbor[node, port])
+        self.quiescing[neighbor, int(self.topology.opposite[port])] = False
+        self._distance = None
+
+    def unquiesce_router_inbound(self, node: int) -> None:
+        neighbor = self.topology.neighbor
+        for port in range(NUM_PORTS):
+            if self.topology.link_exists[node, port]:
+                m = int(neighbor[node, port])
+                self.quiescing[m, int(self.topology.opposite[port])] = False
+        self._distance = None
+
+    # ------------------------------------------------------------------
+    # Topology transitions (all in place)
+    # ------------------------------------------------------------------
+    def fail_link(self, node: int, port: int) -> None:
+        """Hard-down one undirected link (wire already drained)."""
+        self._chaos_link_down[node, port] = True
+        neighbor = int(self.topology.neighbor[node, port])
+        self._chaos_link_down[neighbor, int(self.topology.opposite[port])] = True
+        self._clear_link(self.link_up, node, port)
+        self._refresh_counts()
+
+    def restore_link(self, node: int, port: int) -> None:
+        """Bring one chaos-downed link back up (both directions)."""
+        self._chaos_link_down[node, port] = False
+        neighbor = int(self.topology.neighbor[node, port])
+        opp = int(self.topology.opposite[port])
+        self._chaos_link_down[neighbor, opp] = False
+        if (
+            self._static_link_up[node, port]
+            and self.alive_routers[node]
+            and self.alive_routers[neighbor]
+        ):
+            self.link_up[node, port] = True
+            self.link_up[neighbor, opp] = True
+        self._refresh_counts()
+
+    def fail_router(self, node: int) -> None:
+        """Fail-stop one router (its traffic already drained)."""
+        self._chaos_router_down[node] = True
+        self.alive_routers[node] = False
+        self._clear_router_links(self.link_up, node)
+        self.remap[:] = self._build_remap(self.alive_routers)
+        self._refresh_counts()
+
+    def restore_router(self, node: int) -> None:
+        """Revive a chaos-killed router and its eligible links."""
+        if not self._chaos_router_down[node]:
+            return
+        self._chaos_router_down[node] = False
+        self.alive_routers[node] = True
+        neighbor = self.topology.neighbor
+        for port in range(NUM_PORTS):
+            if not self._static_link_up[node, port]:
+                continue
+            if self._chaos_link_down[node, port]:
+                continue
+            m = int(neighbor[node, port])
+            if not self.alive_routers[m]:
+                continue
+            self.link_up[node, port] = True
+            self.link_up[m, int(self.topology.opposite[port])] = True
+        self.remap[:] = self._build_remap(self.alive_routers)
+        self._refresh_counts()
+
+    def set_noise(self, rate: float) -> None:
+        """Install a transient-noise window (``rate=None``-like reset
+        is :meth:`clear_noise`)."""
+        self.transient_fault_rate = float(rate)
+
+    def clear_noise(self) -> None:
+        self.transient_fault_rate = self._base_transient
+
+    # ------------------------------------------------------------------
+    # Drain-aware routing distances
+    # ------------------------------------------------------------------
+    def _all_pairs_distance(self, link_up=None):
+        """Routing distances that steer through-traffic around drains.
+
+        Plain healthy distances still route *through* a quiescing
+        region (its links are up), so under sustained load in a
+        bufferless mesh the orbiting through-traffic keeps the target's
+        wires occupied and the drain never terminates.  Compute
+        distances over the graph minus quiescing links instead, then
+        restore the full-graph distance *columns* of the quiesce
+        targets: traffic addressed **to** a draining router must keep
+        productive guidance (its final quiesced hop is admitted by the
+        engines' last-hop exception), while everything else detours.
+        """
+        if link_up is not None or not self.quiescing.any():
+            return super()._all_pairs_distance(link_up)
+        routed = super()._all_pairs_distance(self.link_up & ~self.quiescing)
+        full = super()._all_pairs_distance()
+        targets = np.unique(
+            self.topology.neighbor[self.quiescing & self.link_up]
+        )
+        routed[:, targets] = full[:, targets]
+        return routed
+
+    # ------------------------------------------------------------------
+    # Per-cycle query override
+    # ------------------------------------------------------------------
+    def transient_down(self, cycle: int):
+        """Base transient draw plus the quiesce mask.
+
+        Quiescing links present exactly like transiently faulted ones:
+        excluded from preferred allocation, still legal for the
+        bufferless deflection fallback, blocking for buffered sends.
+        """
+        down = super().transient_down(cycle)
+        if not self.quiescing.any():
+            return down
+        quiesced = self.quiescing & self.link_up
+        if down is None:
+            return quiesced
+        return down | quiesced
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _clear_link(self, link_up, node: int, port: int) -> None:
+        link_up[node, port] = False
+        neighbor = int(self.topology.neighbor[node, port])
+        link_up[neighbor, int(self.topology.opposite[port])] = False
+
+    def _clear_router_links(self, link_up, node: int) -> None:
+        neighbor = self.topology.neighbor
+        for port in range(NUM_PORTS):
+            if self.topology.link_exists[node, port]:
+                m = int(neighbor[node, port])
+                link_up[m, int(self.topology.opposite[port])] = False
+        link_up[node, :] = False
+
+    def _refresh_counts(self) -> None:
+        self.num_failed_routers = int((~self.alive_routers).sum())
+        self.num_failed_links = int(
+            (self.topology.link_exists & ~self.link_up).sum() // 2
+        )
+        self._distance = None

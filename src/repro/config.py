@@ -96,6 +96,8 @@ class SimulationConfig:
     max_flit_age: int = 0
     #: link/router fault injection; ``None`` runs a healthy network
     faults: Optional[FaultConfig] = None
+    #: mid-run fault/recovery campaign (repro.chaos); ``None`` disables
+    chaos: Optional[object] = None
 
     def __post_init__(self):
         n = self.workload.num_nodes
@@ -133,6 +135,15 @@ class SimulationConfig:
             raise ValueError(
                 f"faults must be a FaultConfig or None, got {self.faults!r}"
             )
+        if self.chaos is not None:
+            # Imported lazily: repro.chaos pulls in the network stack,
+            # which this module must not depend on at import time.
+            from repro.chaos.schedule import ChaosConfig
+
+            if not isinstance(self.chaos, ChaosConfig):
+                raise ValueError(
+                    f"chaos must be a ChaosConfig or None, got {self.chaos!r}"
+                )
 
     @property
     def hop_latency(self) -> int:

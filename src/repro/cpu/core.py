@@ -197,6 +197,29 @@ class CoreArray:
             self._head_dirty = True
 
     # ------------------------------------------------------------------
+    # Chaos fail-stop interface
+    # ------------------------------------------------------------------
+    def halt_node(self, node: int) -> None:
+        """Fail-stop one core: it retires nothing and issues no misses."""
+        self.active[node] = False
+        self._insns_until_miss[node] = np.inf
+
+    def revive_node(self, node: int) -> None:
+        """Restart a halted core after its router recovers.
+
+        The miss gap is re-sampled in event order from the shared
+        destination stream, so revival stays deterministic for a fixed
+        chaos schedule.  Nodes that never ran an application stay idle.
+        """
+        if not self.behavior.active[node]:
+            return
+        self.active[node] = True
+        gap = self.behavior.sample_gap(
+            np.asarray([node], dtype=np.int64), self.rng
+        )
+        self._insns_until_miss[node] = float(gap[0])
+
+    # ------------------------------------------------------------------
     # Congestion-controller interface
     # ------------------------------------------------------------------
     def measured_ipf(self, floor_flits: int = 1) -> np.ndarray:

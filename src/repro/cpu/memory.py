@@ -64,6 +64,49 @@ class MemorySystem:
                 np.concatenate([a, b]) for a, b in zip(prev, entry)
             )
 
+    # ------------------------------------------------------------------
+    # Chaos fail-stop interface
+    # ------------------------------------------------------------------
+    def pending_for_server(self, node: int) -> int:
+        """Scheduled or retrying replies that will inject from *node*."""
+        count = int((self._pending_server == node).sum())
+        for entry in self._ring:
+            if entry is not None:
+                count += int((entry[0] == node).sum())
+        return count
+
+    def migrate_server(self, old: int, new: int) -> None:
+        """Re-home not-yet-issued replies after an L2 slice re-stripes."""
+        for entry in self._ring:
+            if entry is not None:
+                entry[0][entry[0] == old] = new
+        self._pending_server[self._pending_server == old] = new
+
+    def drop_requester(self, node: int) -> int:
+        """Discard replies addressed to *node* (fail-stopped requester).
+
+        Returns the number of reply packets dropped.  Their flits were
+        never injected, so network flit conservation is unaffected; the
+        dead core will never wait on them.
+        """
+        dropped = 0
+        for i, entry in enumerate(self._ring):
+            if entry is None:
+                continue
+            keep = entry[1] != node
+            if not keep.all():
+                dropped += int((~keep).sum())
+                self._ring[i] = (
+                    tuple(a[keep] for a in entry) if keep.any() else None
+                )
+        keep = self._pending_requester != node
+        if not keep.all():
+            dropped += int((~keep).sum())
+            self._pending_server = self._pending_server[keep]
+            self._pending_requester = self._pending_requester[keep]
+            self._pending_seq = self._pending_seq[keep]
+        return dropped
+
     def step(self, cycle: int) -> None:
         """Enqueue due replies; a full response queue defers to next cycle."""
         due = self._ring[self._cursor]

@@ -198,6 +198,10 @@ class FaultModel:
             ((topology.link_exists & ~link_up).sum()) // 2
         )
         self.remap = self._build_remap(alive)
+        # Effective per-cycle transient rate.  An instance attribute (not
+        # a config read) so dynamic extensions (repro.chaos noise windows)
+        # can raise/lower it mid-run without mutating the frozen config.
+        self.transient_fault_rate = self.config.transient_fault_rate
         self._distance = None
         return True
 
@@ -249,7 +253,9 @@ class FaultModel:
             self._distance = self._all_pairs_distance()
         return self._distance
 
-    def _all_pairs_distance(self) -> np.ndarray:
+    def _all_pairs_distance(self, link_up=None) -> np.ndarray:
+        if link_up is None:
+            link_up = self.link_up
         n = self.topology.num_nodes
         neighbor = self.topology.neighbor.astype(np.int64)
         dist = np.full((n, n), np.iinfo(np.int32).max, dtype=np.int32)
@@ -261,7 +267,7 @@ class FaultModel:
             hops += 1
             nxt = np.zeros((n, n), dtype=bool)
             for port in range(NUM_PORTS):
-                ok = self.link_up[:, port]
+                ok = link_up[:, port]
                 if ok.any():
                     nxt[:, neighbor[ok, port]] |= frontier[:, ok]
             frontier = nxt & ~reached
@@ -279,7 +285,7 @@ class FaultModel:
         a pure function of ``(seed, cycle)`` so runs are reproducible and
         both directions of a link always fail together.
         """
-        rate = self.config.transient_fault_rate
+        rate = self.transient_fault_rate
         if rate == 0.0:
             return None
         n, p = self.topology.num_nodes, NUM_PORTS

@@ -21,15 +21,29 @@ Execution strategy:
   failed (``result is None``) without sinking the sweep; every other
   exception propagates, since it indicates a bug rather than a
   diverging simulation.  Completed points are cached as they finish, so
-  a crashed or aborted sweep resumes from where it stopped.
+  a crashed or aborted sweep resumes from where it stopped;
+- a **worker process dying mid-job** (OOM kill, segfault, ``os._exit``)
+  breaks the whole ``ProcessPoolExecutor`` and poisons every in-flight
+  future.  Instead of sinking the sweep, each affected job is re-run
+  once in its own fresh single-worker pool: innocent bystanders
+  complete normally, and only the job that kills its worker *again* is
+  recorded failed;
+- each job gets an optional **wall-clock timeout** (``timeout_s=`` or
+  ``$REPRO_JOB_TIMEOUT_S``), enforced inside the worker with a timer
+  thread, so one wedged simulation cannot stall a sweep forever — the
+  timed-out job is recorded failed like a guardrail abort.
 """
 
 from __future__ import annotations
 
+import _thread
 import os
+import signal
 import sys
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -38,7 +52,8 @@ from repro.harness.cache import ResultCache
 from repro.harness.jobs import JobSpec, run_job
 from repro.sim.results import SimulationResult
 
-__all__ = ["run_jobs", "HarnessReport", "JobRecord", "default_jobs"]
+__all__ = ["run_jobs", "HarnessReport", "JobRecord", "default_jobs",
+           "job_timeout_s"]
 
 
 def default_jobs() -> int:
@@ -170,21 +185,72 @@ class HarnessReport:
         }
 
 
+def job_timeout_s() -> Optional[float]:
+    """Per-job wall-clock budget from ``$REPRO_JOB_TIMEOUT_S`` (seconds).
+
+    Unset, empty, or non-positive means no timeout.
+    """
+    raw = os.environ.get("REPRO_JOB_TIMEOUT_S", "").strip()
+    if not raw:
+        return None
+    value = float(raw)
+    return value if value > 0 else None
+
+
+def _interrupt_main_thread() -> None:
+    """Raise KeyboardInterrupt in the process's main thread, now.
+
+    A real ``SIGINT`` via ``pthread_kill`` interrupts even a blocking C
+    call (a stuck filesystem read, a wedged native extension), which
+    ``_thread.interrupt_main``'s interpreter-level flag cannot; the
+    flag is the fallback where pthread signals are unavailable.
+    """
+    try:
+        signal.pthread_kill(threading.main_thread().ident, signal.SIGINT)
+    except (AttributeError, ProcessLookupError, RuntimeError, OSError):
+        _thread.interrupt_main()
+
+
 def _timed_run(
     spec: JobSpec,
+    timeout_s: Optional[float] = None,
 ) -> Tuple[Optional[SimulationResult], float, Optional[str]]:
     """Worker entry point: run one spec, returning (result, secs, error).
 
     Guardrail aborts come back as strings — exception instances with
     custom constructors do not all survive pickling, and the parent
     only needs the message for the job record.
+
+    ``timeout_s`` (defaulting to ``$REPRO_JOB_TIMEOUT_S``, read here so
+    pool workers honor it too) arms a daemon timer that interrupts the
+    worker's main thread when the budget expires; the interrupted job
+    is reported as a failure string like any guardrail abort.  A real
+    Ctrl-C (no expired timer) still propagates.
     """
+    if timeout_s is None:
+        timeout_s = job_timeout_s()
     start = time.perf_counter()
+    timer: Optional[threading.Timer] = None
+    if timeout_s is not None and timeout_s > 0:
+        timer = threading.Timer(timeout_s, _interrupt_main_thread)
+        timer.daemon = True
+        timer.start()
     try:
         result = run_job(spec)
         return result, time.perf_counter() - start, None
     except GuardrailError as error:
         return None, time.perf_counter() - start, f"{type(error).__name__}: {error}"
+    except KeyboardInterrupt:
+        if timer is None or not timer.finished.is_set():
+            raise
+        return (
+            None,
+            time.perf_counter() - start,
+            f"JobTimeout: exceeded wall-clock budget of {timeout_s:g}s",
+        )
+    finally:
+        if timer is not None:
+            timer.cancel()
 
 
 class _Progress:
@@ -226,6 +292,7 @@ def run_jobs(
     cache: Union[ResultCache, str, os.PathLike, None, bool] = None,
     progress: Union[bool, Callable[[JobRecord], None]] = False,
     description: str = "sweep",
+    timeout_s: Optional[float] = None,
 ) -> HarnessReport:
     """Execute *specs*, in parallel and against the cache, in order.
 
@@ -247,6 +314,10 @@ def run_jobs(
         custom UIs).
     description:
         Tag used in the progress line and report summary.
+    timeout_s:
+        Per-job wall-clock budget in seconds; a job over budget is
+        interrupted and recorded failed.  ``None`` reads
+        ``$REPRO_JOB_TIMEOUT_S`` (no timeout when unset).
     """
     specs = list(specs)
     for spec in specs:
@@ -316,15 +387,45 @@ def run_jobs(
     workers = min(jobs, len(pending)) if pending else jobs
     if workers <= 1:
         for i in pending:
-            finish(i, *_timed_run(specs[i]))
+            finish(i, *_timed_run(specs[i], timeout_s))
     else:
+        broken: List[int] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_timed_run, specs[i]): i for i in pending}
+            futures = {
+                pool.submit(_timed_run, specs[i], timeout_s): i
+                for i in pending
+            }
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
-                    finish(futures[future], *future.result())
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        # A worker died (OOM kill, segfault, os._exit):
+                        # this future and every other in-flight one are
+                        # poisoned regardless of whose job was at fault.
+                        broken.append(futures[future])
+                        continue
+                    finish(futures[future], *outcome)
+        # Re-run each poisoned job once, isolated in its own fresh
+        # single-worker pool: bystanders of the crash complete
+        # normally, and only a job that kills its worker *again* is
+        # abandoned.
+        for i in sorted(broken):
+            try:
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    outcome = pool.submit(
+                        _timed_run, specs[i], timeout_s
+                    ).result()
+            except BrokenProcessPool:
+                finish(
+                    i, None, 0.0,
+                    "WorkerDeath: worker process died twice running "
+                    "this job; abandoned",
+                )
+                continue
+            finish(i, *outcome)
 
     meter.finish()
     return HarnessReport(

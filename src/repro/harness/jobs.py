@@ -73,6 +73,10 @@ class JobSpec:
     config: Tuple[Tuple[str, object], ...] = ()
     #: wall-clock budget for the run in seconds (`None` = unbounded)
     deadline: Optional[float] = None
+    #: chaos campaign as canonical :meth:`ChaosConfig.to_json` text
+    #: (``None`` = no chaos); a :class:`~repro.chaos.ChaosConfig` passed
+    #: here is encoded automatically, keeping the spec JSON-scalar
+    chaos: Optional[str] = None
 
     def __post_init__(self):
         if not isinstance(self.controller, tuple) or not self.controller:
@@ -86,6 +90,13 @@ class JobSpec:
             )
         for name, value in self.config:
             _check_scalar(name, value)
+        if self.chaos is not None and not isinstance(self.chaos, str):
+            if not hasattr(self.chaos, "to_json"):
+                raise TypeError(
+                    f"chaos must be canonical JSON text or a ChaosConfig, "
+                    f"got {self.chaos!r}"
+                )
+            object.__setattr__(self, "chaos", self.chaos.to_json())
         # Normalize: sorted config so equal specs hash equally regardless
         # of the order the caller assembled the kwargs in.
         object.__setattr__(self, "config", tuple(sorted(self.config)))
@@ -94,7 +105,10 @@ class JobSpec:
 
     #: Spec fields that double as :class:`~repro.config.SimulationConfig`
     #: keywords; ``for_workload`` lifts them out of a loose config dict.
-    _LIFTED = ("network", "topology", "locality", "locality_param", "deadline")
+    _LIFTED = (
+        "network", "topology", "locality", "locality_param", "deadline",
+        "chaos",
+    )
 
     @classmethod
     def for_workload(cls, workload: Workload, cycles: int, **kw) -> "JobSpec":
@@ -144,6 +158,7 @@ class JobSpec:
             category=self.category,
             config=tuple(sorted(merged.items())),
             deadline=self.deadline,
+            chaos=self.chaos,
         )
 
     @property
@@ -169,6 +184,7 @@ class JobSpec:
             "locality_param": self.locality_param,
             "config": [list(pair) for pair in self.config],
             "deadline": self.deadline,
+            "chaos": self.chaos,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -204,8 +220,10 @@ def build_controller(spec: JobSpec):
 
 def run_job(spec: JobSpec) -> SimulationResult:
     """Execute one spec to completion (the worker entry point)."""
+    from repro.chaos.schedule import ChaosConfig
     from repro.experiments.runner import run_workload
 
+    chaos = None if spec.chaos is None else ChaosConfig.from_json(spec.chaos)
     return run_workload(
         spec.workload,
         spec.cycles,
@@ -217,5 +235,6 @@ def run_job(spec: JobSpec) -> SimulationResult:
         topology=spec.topology,
         locality=spec.locality,
         locality_param=spec.locality_param,
+        chaos=chaos,
         **dict(spec.config),
     )

@@ -166,14 +166,53 @@ class BufferBank:
         self.count[nodes, ports] -= 1
         return meta, birth
 
-    def view(self):
-        """``(meta, birth)`` flat arrays of every stored flit."""
+    def occupied_mask(self) -> np.ndarray:
+        """Boolean mask of live slots (shape ``(nodes, ports, capacity)``)."""
         offsets = np.arange(self.capacity)
-        occupied = (
+        return (
             (offsets[None, None, :] - self.head[:, :, None]) % self.capacity
             < self.count[:, :, None]
         )
+
+    def view(self):
+        """``(meta, birth)`` flat arrays of every stored flit."""
+        occupied = self.occupied_mask()
         return self.meta[occupied], self.birth[occupied]
+
+    def rewrite_dest(self, old: int, new: int) -> int:
+        """Re-address stored flits destined *old* to *new* (chaos remap).
+
+        Destination occupies the low meta bits, so an additive rewrite
+        preserves every other field.  Returns the number rewritten.
+        """
+        mask = self.occupied_mask() & (meta_dest(self.meta) == old)
+        hits = int(mask.sum())
+        if hits:
+            self.meta[mask] += new - old
+        return hits
+
+
+def _refresh_fault_routing(net: "RouterEngine") -> None:
+    """(Re)derive healthy-graph routing tables from the fault model.
+
+    Called at attach time and again after every chaos topology
+    transition: with permanent faults in force the engine routes by
+    healthy-graph distance (``net._dist``); with none it reverts to the
+    fault-free XY fast path (``net._dist is None``).
+    """
+    net._dist = None
+    fault_model = net.fault_model
+    if fault_model is not None and (
+        fault_model.num_failed_links
+        or fault_model.num_failed_routers
+        or getattr(fault_model, "any_quiescing", False)
+    ):
+        net._dist = fault_model.healthy_distance
+        if net._neighbor_safe is None:
+            net._neighbor_safe = np.where(
+                net.topology.link_exists,
+                net.topology.neighbor.astype(np.int64), 0,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -200,6 +239,17 @@ class FlowControl:
     def held_view(self, net: "RouterEngine"):
         """``(meta, birth)`` of stored flits, or ``None`` when stateless."""
         return None
+
+    def held_at(self, net: "RouterEngine", node: int) -> int:
+        """Flits stored inside router *node* (chaos drain checks)."""
+        return 0
+
+    def rewrite_dest(self, net: "RouterEngine", old: int, new: int) -> int:
+        """Re-address stored flits destined *old* to *new*; returns count."""
+        return 0
+
+    def on_topology_change(self, net: "RouterEngine") -> None:
+        """Refresh routing state after a mid-run topology change (chaos)."""
 
     def step(self, net: "RouterEngine", cycle: int) -> EjectedFlits:
         raise NotImplementedError
@@ -228,19 +278,15 @@ class DeflectFlowControl(FlowControl):
         # strictly decreases the surviving-topology distance to dest.
         net._dist = None
         net._neighbor_safe = None
-        fault_model = net.fault_model
-        if fault_model is not None and (
-            fault_model.num_failed_links or fault_model.num_failed_routers
-        ):
-            net._dist = fault_model.healthy_distance
-            net._neighbor_safe = np.where(
-                net.topology.link_exists, net.topology.neighbor.astype(np.int64), 0
-            )
+        _refresh_fault_routing(net)
         # Scratch output arrays, reused every cycle.
         net._out_meta = np.zeros((n, p), dtype=np.int64)
         net._out_birth = np.full((n, p), -1, dtype=np.int64)
         net._avail = np.zeros((n, p), dtype=bool)
         net._spare = np.zeros((n, p), dtype=bool)
+
+    def on_topology_change(self, net: "RouterEngine") -> None:
+        _refresh_fault_routing(net)
 
     # -- hybrid extension points ---------------------------------------
     def redeem(self, net, cycle, meta, birth) -> None:
@@ -336,12 +382,23 @@ class DeflectFlowControl(FlowControl):
         avail = net._avail
         np.copyto(avail, net.link_up)
         spare = None
+        quiesce = None
         if net.fault_model is not None:
             t_down = net.fault_model.transient_down(cycle)
             if t_down is not None:
                 spare = net._spare
                 np.copyto(spare, avail & t_down)
                 avail &= ~t_down
+                # Chaos-quiescing links (being drained ahead of a hard
+                # down) stay *preferred* for their last hop: a flit
+                # destined to the draining router must still reach it,
+                # or in-flight traffic to that router livelocks while
+                # the drain waits on it — only through-traffic is kept
+                # off the link.  Random transient noise gets no such
+                # exception (those links are unreliable for everyone).
+                q_mask = getattr(net.fault_model, "quiescing", None)
+                if q_mask is not None and q_mask.any():
+                    quiesce = spare & q_mask
         out_meta, out_birth = net._out_meta, net._out_birth
         out_birth[:] = -1
         order = np.argsort(key, axis=1)
@@ -353,6 +410,13 @@ class DeflectFlowControl(FlowControl):
                 break  # ranks are sorted: later ranks are empty too
             c = cols[rows]
             free = avail[rows]
+            if quiesce is not None:
+                # Last-hop exception: a quiescing link counts as free
+                # for flits addressed to its far-end router.
+                free = free | (
+                    quiesce[rows]
+                    & (net.topology.neighbor[rows] == dest[rows, c][:, None])
+                )
             if productive is None:
                 pp0 = p0[rows, c]
                 pp1 = p1[rows, c]
@@ -376,6 +440,8 @@ class DeflectFlowControl(FlowControl):
             avail[rows, choice] = False
             if spare is not None:
                 spare[rows, choice] = False
+            if quiesce is not None:
+                quiesce[rows, choice] = False
             out_meta[rows, choice] = meta[rows, c] + HOP_ONE
             out_birth[rows, choice] = birth[rows, c]
 
@@ -460,12 +526,30 @@ class CreditFlowControl(FlowControl):
         net.buffers = BufferBank(net.num_nodes, _NUM_INPUTS, self.buffer_capacity)
         # Flits in flight toward each link-input buffer, for credit checks.
         net.reserved = np.zeros((net.num_nodes, NUM_PORTS), dtype=np.int32)
+        # Static permanent faults keep plain XY: a flit aimed across a
+        # dead link parks in front of it and the progress watchdog
+        # reports the deadlock (buffered networks cannot misroute, and
+        # that failure mode is part of the §6.3 comparison).  Only a
+        # *chaos* topology transition (on_topology_change) switches to
+        # healthy-graph distance routing — mid-run losslessness demands
+        # that every in-flight flit can still make progress.
+        net._dist = None
+        net._neighbor_safe = None
 
     def held_flits(self, net) -> int:
         return net.buffers.occupancy()
 
     def held_view(self, net):
         return net.buffers.view()
+
+    def held_at(self, net, node: int) -> int:
+        return int(net.buffers.count[node].sum())
+
+    def rewrite_dest(self, net, old: int, new: int) -> int:
+        return net.buffers.rewrite_dest(old, new)
+
+    def on_topology_change(self, net) -> None:
+        _refresh_fault_routing(net)
 
     # ------------------------------------------------------------------
     def step(self, net: "RouterEngine", cycle: int) -> EjectedFlits:
@@ -491,10 +575,27 @@ class CreditFlowControl(FlowControl):
         h_key = np.where(
             h_valid, net.arbitration_keys(h_birth, h_meta), _KEY_MAX
         )
-        dx, dy = net.topology.deltas(net._node_col, h_dest)
-        x_port = np.where(dx > 0, 1, 3)
-        y_port = np.where(dy > 0, 2, 0)
-        h_out = np.where(dx != 0, x_port, np.where(dy != 0, y_port, EJECT_PORT))
+        if net._dist is None:
+            # Fault-free: deterministic XY (deadlock-free).
+            dx, dy = net.topology.deltas(net._node_col, h_dest)
+            x_port = np.where(dx > 0, 1, 3)
+            y_port = np.where(dy > 0, 2, 0)
+            h_out = np.where(
+                dx != 0, x_port, np.where(dy != 0, y_port, EJECT_PORT)
+            )
+        else:
+            # Permanent faults: minimal routing on the healthy graph —
+            # first port whose neighbor is strictly closer to dest.  A
+            # flit with no such port (its dest drained away mid-rewrite)
+            # waits; chaos re-addresses it before the link disappears.
+            d_here = net._dist[net._node_col, h_dest]
+            d_next = net._dist[net._neighbor_safe[:, None, :], h_dest[:, :, None]]
+            good = net.link_up[:, None, :] & (d_next < d_here[:, :, None])
+            h_out = np.where(
+                h_dest == net._node_col,
+                EJECT_PORT,
+                np.where(good.any(axis=2), np.argmax(good, axis=2), -1),
+            )
 
         # --- Output arbitration: one winner per output port --------------
         neighbor = net.topology.neighbor
@@ -506,8 +607,18 @@ class CreditFlowControl(FlowControl):
         # routing has no alternative path, unlike deflection routing).
         link_ok = net.link_up
         t_down = None
+        quiesce = None
         if net.fault_model is not None:
             t_down = net.fault_model.transient_down(cycle)
+            if t_down is not None:
+                # Chaos-quiescing links still carry their last-hop
+                # traffic (same exception as the deflection engine):
+                # without it, a buffered flit destined to a draining
+                # router waits at a neighbor forever and the drain
+                # deadlocks against its own quiesce.
+                q_mask = getattr(net.fault_model, "quiescing", None)
+                if q_mask is not None and q_mask.any():
+                    quiesce = q_mask
         for out_port in range(NUM_PORTS + 1):
             key = np.where(h_out == out_port, h_key, _KEY_MAX)
             col = np.argmin(key, axis=1)
@@ -534,7 +645,13 @@ class CreditFlowControl(FlowControl):
             )
             space &= link_ok[rows, out_port]
             if t_down is not None:
-                space &= ~t_down[rows, out_port]
+                blocked = t_down[rows, out_port]
+                if quiesce is not None:
+                    blocked = blocked & ~(
+                        quiesce[rows, out_port]
+                        & (h_dest[rows, in_ports] == down)
+                    )
+                space &= ~blocked
             rows, in_ports, down = rows[space], in_ports[space], down[space]
             if rows.size == 0:
                 continue
@@ -612,6 +729,12 @@ class HybridFlowControl(DeflectFlowControl):
 
     def held_view(self, net):
         return net.side_buffers.view()
+
+    def held_at(self, net, node: int) -> int:
+        return int(net.side_buffers.count[node, 0])
+
+    def rewrite_dest(self, net, old: int, new: int) -> int:
+        return net.side_buffers.rewrite_dest(old, new)
 
     # ------------------------------------------------------------------
     def redeem(self, net, cycle, meta, birth) -> None:
@@ -734,6 +857,67 @@ class RouterEngine(NocModel):
         return (
             np.concatenate([meta, held[0]]),
             np.concatenate([birth, held[1]]),
+        )
+
+    # ------------------------------------------------------------------
+    # Chaos support (mid-run topology transitions, repro.chaos)
+    # ------------------------------------------------------------------
+    def on_topology_change(self) -> None:
+        """Refresh routing tables after a chaos link/router transition."""
+        self.flow.on_topology_change(self)
+
+    def held_at(self, node: int) -> int:
+        """Flits stored inside router *node* (drain-completion checks)."""
+        return self.flow.held_at(self, node)
+
+    def rewrite_dest(self, old: int, new: int) -> int:
+        """Re-address every flit destined *old* to *new*, everywhere.
+
+        Covers the hop-delay ring, flow-control buffers, and the NI
+        queues (packets enqueued before the destination re-striping took
+        effect).  Returns the number of *in-network* flits rewritten;
+        NI-queue rewrites touch stale slots harmlessly and are not
+        counted.
+        """
+        mask = (self._ring_birth >= 0) & (meta_dest(self._ring_meta) == old)
+        hits = int(mask.sum())
+        if hits:
+            self._ring_meta[mask] += new - old
+        hits += self.flow.rewrite_dest(self, old, new)
+        for queue in (self.request_queue, self.response_queue):
+            stale = queue.dest == old
+            if stale.any():
+                queue.dest[stale] = new
+        return hits
+
+    def router_wire_empty(self, node: int) -> bool:
+        """No flit on any wire into or out of *node*, in any ring stage."""
+        p = NUM_PORTS
+        inbound = self._ring_birth[:, node * p:(node + 1) * p]
+        if (inbound >= 0).any():
+            return False
+        out = self._target_flat[node]
+        out = out[out >= 0]
+        return not (self._ring_birth[:, out] >= 0).any()
+
+    def link_wire_empty(self, node: int, port: int) -> bool:
+        """Both directions of link (node, port) are drained."""
+        fwd = int(self._target_flat[node, port])
+        neighbor = int(self.topology.neighbor[node, port])
+        back = int(self._target_flat[neighbor, int(self.topology.opposite[port])])
+        slots = [s for s in (fwd, back) if s >= 0]
+        return not (self._ring_birth[:, slots] >= 0).any()
+
+    def purge_queues_at(self, node: int) -> int:
+        """Drop un-injected NI packets at *node*; returns flits dropped.
+
+        Only used by chaos when a fail-stopping router's queues refuse
+        to drain (heavy throttling); the packets never entered the
+        network, so flit conservation is unaffected.
+        """
+        return (
+            self.request_queue.purge_node(node)
+            + self.response_queue.purge_node(node)
         )
 
     # ------------------------------------------------------------------

@@ -133,6 +133,23 @@ class FlitQueueArray:
         self.count[node] += k
         return k
 
+    def purge_node(self, node: int) -> int:
+        """Discard every queued entry at *node*; returns flits discarded.
+
+        Chaos fail-stop support: a dying router's un-injected packets
+        are dropped (they never entered the network, so conservation
+        accounting is unaffected) and counted for the campaign report.
+        """
+        count = int(self.count[node])
+        if count == 0:
+            return 0
+        slots = (
+            self.head[node] + np.arange(count, dtype=np.int64)
+        ) % self.capacity
+        flits = int(self.flits[node, slots].sum())
+        self.count[node] = 0
+        return flits
+
     def peek(self, nodes: np.ndarray):
         """Head-entry ``(dest, kind)`` for each node in *nodes*.
 

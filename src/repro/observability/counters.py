@@ -30,6 +30,8 @@ class PerfCounters:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     trace_events: int = 0
     trace_dropped: int = 0
+    #: chaos campaign events applied during the run (0 when chaos off)
+    chaos_events: int = 0
 
     @property
     def cycles_per_sec(self) -> float:
@@ -66,6 +68,7 @@ class PerfCounters:
             "phase_shares": self.phase_shares(),
             "trace_events": int(self.trace_events),
             "trace_dropped": int(self.trace_dropped),
+            "chaos_events": int(self.chaos_events),
         }
 
     @classmethod
@@ -78,6 +81,7 @@ class PerfCounters:
             phase_seconds=dict(data["phase_seconds"]),
             trace_events=data["trace_events"],
             trace_dropped=data["trace_dropped"],
+            chaos_events=data.get("chaos_events", 0),
         )
 
     def table(self) -> str:

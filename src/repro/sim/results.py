@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chaos.report import ChaosReport
 from repro.guardrails.report import GuardrailReport
 from repro.metrics.collectors import EpochSeries
 from repro.observability.counters import PerfCounters
@@ -26,7 +27,8 @@ __all__ = ["SimulationResult", "RESULT_SCHEMA_VERSION"]
 #: entries are never deserialized into a new schema.
 #: 2: non-finite floats encode as ``null`` (strict RFC-8259 JSON) and the
 #: optional ``perf`` counters snapshot joined the layout.
-RESULT_SCHEMA_VERSION = 2
+#: 3: the optional ``chaos`` campaign report joined the layout.
+RESULT_SCHEMA_VERSION = 3
 
 #: sha256 of ``"v{RESULT_SCHEMA_VERSION}:" + ",".join(sorted(fields))``
 #: over every serialized field name.  Checked statically by the
@@ -34,7 +36,7 @@ RESULT_SCHEMA_VERSION = 2
 #: layout without bumping RESULT_SCHEMA_VERSION *and* refreshing this
 #: pin fails ``python -m repro.analysis``.
 RESULT_SCHEMA_FIELD_HASH = (
-    "97225e03148c462d343be3460859ec85697cd4f624aeb3418d7d0b22025af7ea"
+    "caeb7451385f27f95e0c92d59441928b5b894fa620d34501e9e0183d605fe9e4"
 )
 
 _ARRAY_FIELDS = {
@@ -102,6 +104,8 @@ class SimulationResult:
     #: counters carry wall-clock time, so default runs omit them to keep
     #: results bit-identical across serial/parallel/cached execution
     perf: object = None
+    #: ChaosReport when a chaos campaign ran, else None (repro.chaos)
+    chaos: object = None
 
     def latency_percentile(self, p: float) -> int:
         """The *p*-th percentile (0-100) of delivered-flit latency.
@@ -192,6 +196,7 @@ class SimulationResult:
                 else np.asarray(self.latency_hist, dtype=np.int64).tolist()
             ),
             "perf": None if self.perf is None else self.perf.to_dict(),
+            "chaos": None if self.chaos is None else self.chaos.to_dict(),
         }
         for name, kind in sorted(_ARRAY_FIELDS.items()):
             values = np.asarray(getattr(self, name)).astype(kind)
@@ -220,6 +225,7 @@ class SimulationResult:
         hist = data["latency_hist"]
         guard = data["guardrails"]
         perf = data["perf"]
+        chaos = data["chaos"]
         return cls(
             cycles=data["cycles"],
             num_nodes=data["num_nodes"],
@@ -239,6 +245,7 @@ class SimulationResult:
                 None if hist is None else np.asarray(hist, dtype=np.int64)
             ),
             perf=None if perf is None else PerfCounters.from_dict(perf),
+            chaos=None if chaos is None else ChaosReport.from_dict(chaos),
             **arrays,
         )
 

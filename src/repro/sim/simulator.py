@@ -32,6 +32,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chaos import ChaosEngine, DynamicFaultModel
 from repro.config import SimulationConfig
 from repro.control.base import EpochView
 from repro.cpu.core import CoreArray
@@ -68,6 +69,7 @@ __all__ = ["Simulator", "PHASE_WRITES"]
 #: undeclared write — or a stale entry for a write that no longer
 #: happens — fails ``python -m repro.analysis``.
 PHASE_WRITES = {
+    "_chaos_phase": (),
     "_behavior_phase": (),
     "_network_phase": ("_ejected",),
     "_invariants_hook": (),
@@ -116,11 +118,18 @@ class Simulator:
             phase_length=config.phase_length,
             seed_rng=child_rng(config.seed, "phase-init"),
         )
-        self.fault_model = (
-            FaultModel(self.topology, config.faults)
-            if config.faults is not None and config.faults.any_faults
-            else None
-        )
+        chaos_on = config.chaos is not None and config.chaos.any_events
+        if chaos_on:
+            # Chaos needs a mutable fault model even when the run starts
+            # fault-free; it layers mid-run transitions over any static
+            # fault set.
+            self.fault_model = DynamicFaultModel(self.topology, config.faults)
+        else:
+            self.fault_model = (
+                FaultModel(self.topology, config.faults)
+                if config.faults is not None and config.faults.any_faults
+                else None
+            )
         self.network = build_network(
             config, self.topology, rng=self._rng_arb,
             fault_model=self.fault_model,
@@ -175,6 +184,9 @@ class Simulator:
             # A fail-stopped hub moves to the nearest live router.
             self.hub = int(self.fault_model.remap[self.hub])
         self.control_flits_sent = 0
+        # Chaos campaign engine (mid-run fault/recovery events); built
+        # last so it can observe the fully wired system.
+        self.chaos = ChaosEngine(self, config.chaos) if chaos_on else None
         # Per-cycle scratch: the network phase's delivered flits, consumed
         # by the guardrail hooks and the ejection phase.
         self._ejected = EjectedFlits.empty()
@@ -194,6 +206,10 @@ class Simulator:
         :meth:`run` — nothing here branches on it.
         """
         pipe = PhasePipeline()
+        if self.chaos is not None:
+            # Chaos runs first: fault transitions land on the cycle
+            # boundary, before any phase observes the topology.
+            pipe.append("chaos", self._chaos_phase)
         pipe.append("behavior", self._behavior_phase)
         pipe.append("cores", self.cores.step)
         pipe.append("memory", self.memory.step)
@@ -205,6 +221,9 @@ class Simulator:
         pipe.append("ejection", self._ejection_phase)
         pipe.append("epoch", self._epoch_phase, every=self.config.epoch)
         return pipe
+
+    def _chaos_phase(self, cycle: int) -> None:
+        self.chaos.tick(cycle)
 
     def _behavior_phase(self, cycle: int) -> None:
         self.behavior.tick(self._rng_phase)
@@ -276,6 +295,10 @@ class Simulator:
             time.monotonic() if deadline is not None else 0.0  # repro: noqa[DET001]
         )
         end = self.cycle + cycles
+        if self.chaos is not None:
+            # May swap self.controller for a fail-stop wrapper, so it
+            # must precede the observes_ejections capture below.
+            self.chaos.prepare()
         self._observe = self.controller.observes_ejections
         self.pipeline.set_period("epoch", epoch)
         cycle_fns, periodic = self.pipeline.compiled(self.phase_timer)
@@ -320,7 +343,11 @@ class Simulator:
         )
         rates = self.controller.on_epoch(view)
         self.network.set_throttle_rates(rates)
-        if self.config.model_control_traffic:
+        if self.config.model_control_traffic and not getattr(
+            self.controller, "down", False
+        ):
+            # A fail-stopped central coordinator exchanges no control
+            # packets until it (or its standby) comes back.
             self._inject_control_traffic()
         self.epochs.append(
             self.cycle,
@@ -409,6 +436,7 @@ class Simulator:
         # Perf counters only exist when an observability layer ran: they
         # carry wall-clock times, which would break the bit-identical
         # serial/parallel/cache guarantees of default runs.
+        chaos = self.chaos.report(self.cycle) if self.chaos else None
         perf = None
         if self.phase_timer is not None or self.tracer is not None:
             perf = PerfCounters(
@@ -423,6 +451,7 @@ class Simulator:
                 ),
                 trace_events=self.tracer.recorded if self.tracer else 0,
                 trace_dropped=self.tracer.dropped if self.tracer else 0,
+                chaos_events=len(chaos.applied_events) if chaos else 0,
             )
         return SimulationResult(
             cycles=self.cycle,
@@ -445,5 +474,6 @@ class Simulator:
             latency_hist=stats.latency_hist.copy(),
             in_flight_flits=self.network.in_flight_flits(),
             guardrails=guardrails,
+            chaos=chaos,
             perf=perf,
         )
