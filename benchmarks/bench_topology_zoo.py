@@ -1,0 +1,164 @@
+"""Topology-zoo comparison benchmark (PR 7).
+
+Extends the paper's §6.3 mesh-vs-torus note across the whole topology
+registry at a fixed 64-node budget (8x8 grids, a 4x4x4 cube, an 8x8
+chiplet layout with 4x4 tiles, and an 8x8 express mesh): every
+topology runs the same heavy workload on baseline BLESS and reports
+throughput, latency, and the structural stats (mean hop distance,
+diameter, directed-link count) that explain the differences.
+
+The paper's headline claim — wrap-around links buy the torus roughly
+10% throughput over the mesh — must reproduce, and the same
+more-links/shorter-paths reasoning orders the rest of the zoo:
+3D wraps beat the open 3D mesh, express channels beat the plain mesh,
+and the link-starved chiplet layout trails it.
+
+Usage::
+
+    # measure and write the committed baseline
+    PYTHONPATH=src python benchmarks/bench_topology_zoo.py --out BENCH_pr7.json
+
+    # CI-style gate: re-measure and verify the §6.3 orderings
+    PYTHONPATH=src python benchmarks/bench_topology_zoo.py --check --out -
+
+Standalone script (not a pytest benchmark) so the JSON payload is
+reproducible with one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+BENCH_SCHEMA = 1
+NODES = 64
+
+#: (name, config overrides) — every registry topology at 64 nodes.
+POINTS = (
+    ("mesh", {}),
+    ("torus", {}),
+    ("mesh3d", {}),
+    ("torus3d", {}),
+    ("chiplet", {"chiplet_tile": 4}),
+    ("express", {"express_stride": 4}),
+)
+
+
+def _run_point(name: str, overrides: dict, cycles: int, seed: int):
+    from repro.config import SimulationConfig
+    from repro.sim.simulator import Simulator
+    from repro.topology.registry import build_topology
+    from repro.traffic.workloads import make_category_workload
+
+    workload = make_category_workload(
+        "H", NODES, np.random.default_rng(seed)
+    )
+    config = SimulationConfig(
+        workload, seed=seed, epoch=1000, topology=name, **overrides
+    )
+    topo = build_topology(config)
+    n = topo.num_nodes
+    src = np.repeat(np.arange(n), n)
+    dest = np.tile(np.arange(n), n)
+    dist = topo.distance(src, dest)
+    simulator = Simulator(config)
+    result = simulator.run(cycles)
+    return {
+        "topology": name,
+        "nodes": n,
+        "cycles": cycles,
+        "throughput_per_node": result.throughput_per_node,
+        "avg_net_latency": result.avg_net_latency,
+        "network_utilization": result.network_utilization,
+        "deflection_rate": result.deflection_rate,
+        "mean_hop_distance": float(dist[src != dest].mean()),
+        "diameter": int(topo.max_distance()),
+        "directed_links": int(np.count_nonzero(topo.link_exists)),
+    }
+
+
+def measure(cycles: int = 6000, seed: int = 3) -> dict:
+    points = {}
+    for name, overrides in POINTS:
+        points[name] = _run_point(name, overrides, cycles, seed)
+    return {"schema": BENCH_SCHEMA, "nodes": NODES, "seed": seed,
+            "points": points}
+
+
+def ordering_claims(points: dict) -> list:
+    """(description, holds) for every §6.3-style ordering."""
+    def tput(name):
+        return points[name]["throughput_per_node"]
+
+    def hops(name):
+        return points[name]["mean_hop_distance"]
+
+    torus_gain = tput("torus") / tput("mesh") - 1
+    return [
+        (f"torus outperforms mesh ({100 * torus_gain:+.1f}%, paper ~+10%)",
+         torus_gain > 0.0),
+        ("3D wraps outperform the open 3D mesh",
+         tput("torus3d") > tput("mesh3d")),
+        ("express channels shorten mean hop distance vs mesh",
+         hops("express") < hops("mesh")),
+        ("wrap links shorten mean hop distance (torus vs mesh)",
+         hops("torus") < hops("mesh")),
+        ("link-starved chiplet layout trails the full mesh",
+         tput("chiplet") < tput("mesh")),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--cycles", type=int, default=6000)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_pr7.json",
+                        help="payload path ('-' skips the file)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every §6.3 topology ordering holds",
+    )
+    args = parser.parse_args(argv)
+
+    payload = measure(cycles=args.cycles, seed=args.seed)
+    header = (f"{'topology':<9} {'IPC/node':>9} {'latency':>8} "
+              f"{'util':>6} {'deflect':>8} {'hops':>6} {'diam':>5} "
+              f"{'links':>6}")
+    print(header)
+    for name, p in payload["points"].items():
+        print(f"{name:<9} {p['throughput_per_node']:>9.3f} "
+              f"{p['avg_net_latency']:>8.1f} "
+              f"{p['network_utilization']:>6.2f} "
+              f"{p['deflection_rate']:>8.3f} "
+              f"{p['mean_hop_distance']:>6.2f} {p['diameter']:>5} "
+              f"{p['directed_links']:>6}")
+
+    claims = ordering_claims(payload["points"])
+    payload["claims"] = [
+        {"claim": text, "holds": holds} for text, holds in claims
+    ]
+    for text, holds in claims:
+        print(f"  [{'ok' if holds else 'FAIL'}] {text}")
+
+    if args.out != "-":
+        path = pathlib.Path(args.out)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path}")
+
+    if args.check and not all(holds for _, holds in claims):
+        print("topology ordering check FAILED", file=sys.stderr)
+        return 1
+    if args.check:
+        print("topology ordering check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

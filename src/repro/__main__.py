@@ -47,6 +47,7 @@ from repro import (
     make_homogeneous_workload,
 )
 from repro.guardrails import FaultConfig, GuardrailError
+from repro.topology.registry import TOPOLOGY_NAMES
 
 __all__ = ["main", "build_parser", "build_sweep_parser",
            "build_profile_parser", "build_chaos_parser", "chaos_main",
@@ -96,8 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="controller/measurement period T")
     parser.add_argument("--network", choices=("bless", "buffered", "hybrid"),
                         default="bless")
-    parser.add_argument("--topology", choices=("mesh", "torus"),
+    parser.add_argument("--topology", choices=TOPOLOGY_NAMES,
                         default="mesh")
+    parser.add_argument(
+        "--depth", type=int, default=0,
+        help="3D topologies: z dimension (0 = infer a cube)",
+    )
+    parser.add_argument(
+        "--chiplet-tile", type=int, default=4, metavar="EDGE",
+        help="chiplet topology: cluster edge length (default 4)",
+    )
+    parser.add_argument(
+        "--express-stride", type=int, default=4, metavar="HOPS",
+        help="express topology: skip-link span (default 4)",
+    )
     parser.add_argument(
         "--controller",
         choices=("none", "central", "distributed", "static"),
@@ -187,7 +200,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="workload category (default H)")
     parser.add_argument("--seed", type=int, default=2)
     parser.add_argument("--epoch", type=int, default=1_200)
-    parser.add_argument("--topology", choices=("mesh", "torus"),
+    parser.add_argument("--topology", choices=TOPOLOGY_NAMES,
                         default="mesh")
     parser.add_argument("--locality", choices=("uniform", "exponential",
                                                "powerlaw"),
@@ -227,7 +240,7 @@ def build_chaos_parser() -> argparse.ArgumentParser:
                         default="H")
     parser.add_argument("--network", choices=("bless", "buffered", "hybrid"),
                         default="bless")
-    parser.add_argument("--topology", choices=("mesh", "torus"),
+    parser.add_argument("--topology", choices=TOPOLOGY_NAMES,
                         default="mesh")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--epoch", type=int, default=2_000)
@@ -329,7 +342,7 @@ def build_profile_parser() -> argparse.ArgumentParser:
                         default="H")
     parser.add_argument("--network", choices=("bless", "buffered", "hybrid"),
                         default="bless")
-    parser.add_argument("--topology", choices=("mesh", "torus"),
+    parser.add_argument("--topology", choices=TOPOLOGY_NAMES,
                         default="mesh")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--epoch", type=int, default=2_000)
@@ -523,6 +536,9 @@ def main(argv=None) -> int:
         epoch=args.epoch,
         network=args.network,
         topology=args.topology,
+        depth=args.depth,
+        chiplet_tile=args.chiplet_tile,
+        express_stride=args.express_stride,
         locality=args.locality,
         locality_param=args.locality_param,
         profile=args.profile,
@@ -551,8 +567,11 @@ def main(argv=None) -> int:
     print(f"workload: {workload.category or 'custom'} "
           f"({', '.join(str(a) for a in workload.app_names[:8])}"
           f"{', ...' if workload.num_nodes > 8 else ''})")
+    geometry = f"{config.width}x{config.height}"
+    if config.depth > 1:
+        geometry += f"x{config.depth}"
     print(f"network:  {args.network} {args.topology} "
-          f"{config.width}x{config.height}, controller={args.controller}")
+          f"{geometry}, controller={args.controller}")
     print(result.summary())
     if result.guardrails is not None and result.guardrails.active:
         print(f"guardrails: {result.guardrails.summary()}")

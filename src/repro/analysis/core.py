@@ -52,7 +52,7 @@ __all__ = [
 
 #: Packages whose files are simulation hot paths (the DET rules' scope).
 SIM_PACKAGES: Tuple[str, ...] = (
-    "network", "sim", "cpu", "control", "traffic", "chaos",
+    "network", "sim", "cpu", "control", "traffic", "chaos", "topology",
 )
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")

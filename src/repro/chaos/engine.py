@@ -399,7 +399,7 @@ class ChaosEngine:
     def _find_pending(self, kind: str, node: int, port: int = -1):
         if kind == "link":
             neighbor = int(self.fm.topology.neighbor[node, port])
-            opp = int(self.fm.topology.opposite[port])
+            opp = int(self.fm.topology.reverse_port[node, port])
             for pending in self._pending:
                 if pending["kind"] != "link":
                     continue

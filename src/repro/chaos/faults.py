@@ -29,7 +29,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.guardrails.faults import FaultConfig, FaultModel
-from repro.topology.mesh import NUM_PORTS
 
 __all__ = ["DynamicFaultModel"]
 
@@ -113,7 +112,7 @@ class DynamicFaultModel(FaultModel):
         """Stop preferring (node, port) in both directions."""
         self.quiescing[node, port] = True
         neighbor = int(self.topology.neighbor[node, port])
-        self.quiescing[neighbor, int(self.topology.opposite[port])] = True
+        self.quiescing[neighbor, int(self.topology.reverse_port[node, port])] = True
         self._distance = None
 
     def quiesce_router_inbound(self, node: int) -> None:
@@ -125,24 +124,24 @@ class DynamicFaultModel(FaultModel):
         only escape ports were de-preferred.
         """
         neighbor = self.topology.neighbor
-        for port in range(NUM_PORTS):
+        for port in range(self.topology.num_ports):
             if self.link_up[node, port]:
                 m = int(neighbor[node, port])
-                self.quiescing[m, int(self.topology.opposite[port])] = True
+                self.quiescing[m, int(self.topology.reverse_port[node, port])] = True
         self._distance = None
 
     def unquiesce_link(self, node: int, port: int) -> None:
         self.quiescing[node, port] = False
         neighbor = int(self.topology.neighbor[node, port])
-        self.quiescing[neighbor, int(self.topology.opposite[port])] = False
+        self.quiescing[neighbor, int(self.topology.reverse_port[node, port])] = False
         self._distance = None
 
     def unquiesce_router_inbound(self, node: int) -> None:
         neighbor = self.topology.neighbor
-        for port in range(NUM_PORTS):
+        for port in range(self.topology.num_ports):
             if self.topology.link_exists[node, port]:
                 m = int(neighbor[node, port])
-                self.quiescing[m, int(self.topology.opposite[port])] = False
+                self.quiescing[m, int(self.topology.reverse_port[node, port])] = False
         self._distance = None
 
     # ------------------------------------------------------------------
@@ -152,7 +151,7 @@ class DynamicFaultModel(FaultModel):
         """Hard-down one undirected link (wire already drained)."""
         self._chaos_link_down[node, port] = True
         neighbor = int(self.topology.neighbor[node, port])
-        self._chaos_link_down[neighbor, int(self.topology.opposite[port])] = True
+        self._chaos_link_down[neighbor, int(self.topology.reverse_port[node, port])] = True
         self._clear_link(self.link_up, node, port)
         self._refresh_counts()
 
@@ -160,7 +159,7 @@ class DynamicFaultModel(FaultModel):
         """Bring one chaos-downed link back up (both directions)."""
         self._chaos_link_down[node, port] = False
         neighbor = int(self.topology.neighbor[node, port])
-        opp = int(self.topology.opposite[port])
+        opp = int(self.topology.reverse_port[node, port])
         self._chaos_link_down[neighbor, opp] = False
         if (
             self._static_link_up[node, port]
@@ -186,7 +185,7 @@ class DynamicFaultModel(FaultModel):
         self._chaos_router_down[node] = False
         self.alive_routers[node] = True
         neighbor = self.topology.neighbor
-        for port in range(NUM_PORTS):
+        for port in range(self.topology.num_ports):
             if not self._static_link_up[node, port]:
                 continue
             if self._chaos_link_down[node, port]:
@@ -195,7 +194,7 @@ class DynamicFaultModel(FaultModel):
             if not self.alive_routers[m]:
                 continue
             self.link_up[node, port] = True
-            self.link_up[m, int(self.topology.opposite[port])] = True
+            self.link_up[m, int(self.topology.reverse_port[node, port])] = True
         self.remap[:] = self._build_remap(self.alive_routers)
         self._refresh_counts()
 
@@ -257,14 +256,14 @@ class DynamicFaultModel(FaultModel):
     def _clear_link(self, link_up, node: int, port: int) -> None:
         link_up[node, port] = False
         neighbor = int(self.topology.neighbor[node, port])
-        link_up[neighbor, int(self.topology.opposite[port])] = False
+        link_up[neighbor, int(self.topology.reverse_port[node, port])] = False
 
     def _clear_router_links(self, link_up, node: int) -> None:
         neighbor = self.topology.neighbor
-        for port in range(NUM_PORTS):
+        for port in range(self.topology.num_ports):
             if self.topology.link_exists[node, port]:
                 m = int(neighbor[node, port])
-                link_up[m, int(self.topology.opposite[port])] = False
+                link_up[m, int(self.topology.reverse_port[node, port])] = False
         link_up[node, :] = False
 
     def _refresh_counts(self) -> None:

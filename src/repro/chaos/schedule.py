@@ -25,7 +25,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.rng import child_rng
-from repro.topology.mesh import NUM_PORTS
+from repro.topology.graph import MAX_GRAPH_PORTS
 
 __all__ = ["CHAOS_EVENT_KINDS", "ChaosConfig", "ChaosEvent", "ChaosSchedule"]
 
@@ -71,10 +71,14 @@ class ChaosEvent:
         if self.cycle < 0:
             raise ValueError(f"event cycle must be >= 0, got {self.cycle}")
         if self.kind in ("link_down", "link_up"):
-            if self.node < 0 or not 0 <= self.port < NUM_PORTS:
+            # The static bound is the engine-wide port ceiling; whether
+            # the (node, port) link actually exists in the run's topology
+            # is checked when the event is applied.
+            if self.node < 0 or not 0 <= self.port < MAX_GRAPH_PORTS:
                 raise ValueError(
                     f"{self.kind} needs node >= 0 and port in "
-                    f"[0, {NUM_PORTS}), got node={self.node} port={self.port}"
+                    f"[0, {MAX_GRAPH_PORTS}), got node={self.node} "
+                    f"port={self.port}"
                 )
         elif self.kind in ("router_down", "router_up"):
             if self.node < 0:
@@ -252,7 +256,7 @@ class ChaosSchedule:
         neighbor = self.topology.neighbor.astype(np.int64).ravel()
         partner = np.where(
             neighbor >= 0,
-            neighbor * p + self.topology.opposite[np.tile(np.arange(p), n)],
+            neighbor * p + self.topology.reverse_port.astype(np.int64).ravel(),
             flat,
         )
         keep = exists.ravel() & (flat <= partner)

@@ -24,6 +24,7 @@ from typing import Optional, Union
 from repro.control.base import Controller, NoController
 from repro.guardrails.faults import FaultConfig
 from repro.power.model import PowerCoefficients
+from repro.topology.registry import prepare_config
 from repro.traffic.workloads import Workload
 
 __all__ = ["SimulationConfig"]
@@ -42,9 +43,14 @@ class SimulationConfig:
     seed: int = 0
 
     # --- topology / network ------------------------------------------
-    topology: str = "mesh"  # "mesh" | "torus"
-    width: int = 0  # 0: inferred square from the workload size
+    #: any name in :data:`repro.topology.registry.TOPOLOGY_NAMES`
+    #: ("mesh", "torus", "mesh3d", "torus3d", "chiplet", "express")
+    topology: str = "mesh"
+    width: int = 0  # 0: inferred (square grid / cube) from workload size
     height: int = 0
+    depth: int = 0  # 3D topologies only; 0: inferred
+    chiplet_tile: int = 4  # chiplet topology: cluster edge length
+    express_stride: int = 4  # express topology: skip-link span
     network: str = "bless"  # "bless" | "buffered" | "hybrid"
     router_latency: int = 2
     link_latency: int = 1
@@ -100,23 +106,9 @@ class SimulationConfig:
     chaos: Optional[object] = None
 
     def __post_init__(self):
-        n = self.workload.num_nodes
-        if self.width == 0:
-            side = int(round(n ** 0.5))
-            if side * side != n:
-                raise ValueError(
-                    f"workload size {n} is not square; pass width/height"
-                )
-            self.width = side
-        if self.height == 0:
-            self.height = self.width
-        if self.width * self.height != n:
-            raise ValueError(
-                f"{self.width}x{self.height} topology does not fit "
-                f"{n}-node workload"
-            )
-        if self.topology not in ("mesh", "torus"):
-            raise ValueError(f"unknown topology {self.topology!r}")
+        # Topology-specific geometry: the registry entry fills zeroed
+        # dimensions from the workload size and validates the shape.
+        prepare_config(self)
         if self.network not in ("bless", "buffered", "hybrid"):
             raise ValueError(f"unknown network {self.network!r}")
         if self.side_buffer_capacity < 1:

@@ -36,8 +36,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.topology.mesh import NUM_PORTS
-
 __all__ = ["FaultConfig", "FaultModel"]
 
 
@@ -129,13 +127,15 @@ class FaultModel:
         )
         fm._seed = int(seed)
         fm._canonical = cls._canonical_link_ids(topology)
-        failed = np.zeros((topology.num_nodes, NUM_PORTS), dtype=bool)
+        failed = np.zeros(
+            (topology.num_nodes, topology.num_ports), dtype=bool
+        )
         for node, port in links:
             if not topology.link_exists[node, port]:
                 raise ValueError(f"no link at node {node} port {port}")
             failed[node, port] = True
             neighbor = int(topology.neighbor[node, port])
-            failed[neighbor, int(topology.opposite[port])] = True
+            failed[neighbor, int(topology.reverse_port[node, port])] = True
         dead = np.zeros(topology.num_nodes, dtype=bool)
         if not fm._try_apply(dead, failed):
             raise ValueError("explicit fault set disconnects the network")
@@ -143,14 +143,14 @@ class FaultModel:
 
     @staticmethod
     def _canonical_link_ids(topology) -> np.ndarray:
-        """Flat ``(N*4,)`` map from each directed link to its undirected
+        """Flat ``(N*P,)`` map from each directed link to its undirected
         representative (the smaller of the two directed flat indices)."""
-        n, p = topology.num_nodes, NUM_PORTS
+        n, p = topology.num_nodes, topology.num_ports
         flat = np.arange(n * p, dtype=np.int64)
         neighbor = topology.neighbor.astype(np.int64).ravel()
         partner = np.where(
             neighbor >= 0,
-            neighbor * p + topology.opposite[np.tile(np.arange(p), n)],
+            neighbor * p + topology.reverse_port.astype(np.int64).ravel(),
             flat,
         )
         return np.minimum(flat, partner)
@@ -266,7 +266,7 @@ class FaultModel:
         while frontier.any():
             hops += 1
             nxt = np.zeros((n, n), dtype=bool)
-            for port in range(NUM_PORTS):
+            for port in range(self.topology.num_ports):
                 ok = link_up[:, port]
                 if ok.any():
                     nxt[:, neighbor[ok, port]] |= frontier[:, ok]
@@ -288,7 +288,7 @@ class FaultModel:
         rate = self.transient_fault_rate
         if rate == 0.0:
             return None
-        n, p = self.topology.num_nodes, NUM_PORTS
+        n, p = self.topology.num_nodes, self.topology.num_ports
         rng = np.random.default_rng([self._seed, 0x7A57, int(cycle)])
         u = rng.random(n * p)
         down = (u[self._canonical] < rate).reshape(n, p)

@@ -39,7 +39,6 @@ from repro.guardrails.errors import InvariantViolation
 from repro.network.base import EjectedFlits
 from repro.network.flit import meta_dest, meta_src, priority_key
 from repro.network.queues import FlitQueueArray
-from repro.topology.mesh import NUM_PORTS
 
 __all__ = ["InvariantChecker"]
 
@@ -53,6 +52,7 @@ class InvariantChecker:
         self.checks_run = 0
         n = network.num_nodes
         self._num_nodes = n
+        self._num_ports = int(network.topology.num_ports)
         # Arrival slots a flit may legally occupy: one per healthy link.
         self._allowed_slots = network.link_up.ravel()
         self._alive = getattr(network.fault_model, "alive_routers", None)
@@ -120,13 +120,14 @@ class InvariantChecker:
         ghost = occupied & ~self._allowed_slots[None, :]
         if ghost.any():
             slots = np.flatnonzero(ghost.any(axis=0))
-            nodes = slots // NUM_PORTS
+            p = self._num_ports
+            nodes = slots // p
             self._fail(
                 "ghost_link",
                 cycle,
                 f"{int(ghost.sum())} flit(s) on nonexistent or failed "
                 f"link(s) (node, port): "
-                f"{[(int(s // NUM_PORTS), int(s % NUM_PORTS)) for s in slots[:8]]}",
+                f"{[(int(s // p), int(s % p)) for s in slots[:8]]}",
                 nodes=np.unique(nodes),
             )
 
@@ -207,7 +208,7 @@ class InvariantChecker:
                 "negative link credit reservation",
                 nodes=np.flatnonzero((reserved < 0).any(axis=1)),
             )
-        committed = buffers.count[:, :NUM_PORTS] + reserved
+        committed = buffers.count[:, :self._num_ports] + reserved
         if (committed > cap).any():
             self._fail(
                 "queue_bounds",

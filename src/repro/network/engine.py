@@ -75,11 +75,11 @@ __all__ = [
 
 _KEY_MAX = np.iinfo(np.int64).max
 
-#: Input-port index of the network interface (credit flow control).
+# Legacy 4-port-mesh aliases.  The engine itself is port-count generic:
+# per network, the NI input port and the eject output port are both
+# ``topology.num_ports`` (the first index past the link ports).
 NI_PORT = NUM_PORTS
-#: Output-port id for local delivery (credit flow control).
 EJECT_PORT = NUM_PORTS
-_NUM_INPUTS = NUM_PORTS + 1
 
 
 # ----------------------------------------------------------------------
@@ -271,7 +271,7 @@ class DeflectFlowControl(FlowControl):
 
     def attach(self, net: "RouterEngine") -> None:
         net.eject_width = self.eject_width
-        n, p = net.num_nodes, NUM_PORTS
+        n, p = net.num_nodes, net.num_ports
         # With permanent faults, XY-productive can point at a dead link
         # and the oldest flit would deflect forever (livelock).  Route by
         # healthy-graph distance instead: a port is productive iff it
@@ -324,7 +324,7 @@ class DeflectFlowControl(FlowControl):
 
     # ------------------------------------------------------------------
     def step(self, net: "RouterEngine", cycle: int) -> EjectedFlits:
-        n, p = net.num_nodes, NUM_PORTS
+        n, p = net.num_nodes, net.num_ports
 
         # --- Arrivals ----------------------------------------------------
         slot_meta, slot_birth = net.arrival_slot()
@@ -359,12 +359,9 @@ class DeflectFlowControl(FlowControl):
         # --- Output-port allocation, rank by rank ------------------------
         # Productive ports for every arrival, computed once.
         if net._dist is None:
-            # Fault-free: productive XY ports.
-            dx, dy = net.topology.deltas(net._node_col, dest)
-            x_port = np.where(dx > 0, 1, 3)  # EAST / WEST
-            y_port = np.where(dy > 0, 2, 0)  # SOUTH / NORTH
-            p0 = np.where(dx != 0, x_port, np.where(dy != 0, y_port, -1))
-            p1 = np.where((dx != 0) & (dy != 0), y_port, -1)
+            # Fault-free: the topology's productive-port preferences (XY
+            # on the grids, precomputed shortest-hop tables on graphs).
+            p0, p1 = net.topology.productive_ports(net._node_col, dest)
             productive = None
         else:
             # Permanent faults: a port is productive iff its neighbor is
@@ -523,9 +520,13 @@ class CreditFlowControl(FlowControl):
 
     def attach(self, net: "RouterEngine") -> None:
         net.buffer_capacity = self.buffer_capacity
-        net.buffers = BufferBank(net.num_nodes, _NUM_INPUTS, self.buffer_capacity)
+        # One FIFO per link input plus the NI injection port (index
+        # ``num_ports``, also the eject "output" id).
+        net.buffers = BufferBank(
+            net.num_nodes, net.num_ports + 1, self.buffer_capacity
+        )
         # Flits in flight toward each link-input buffer, for credit checks.
-        net.reserved = np.zeros((net.num_nodes, NUM_PORTS), dtype=np.int32)
+        net.reserved = np.zeros((net.num_nodes, net.num_ports), dtype=np.int32)
         # Static permanent faults keep plain XY: a flit aimed across a
         # dead link parks in front of it and the progress watchdog
         # reports the deadlock (buffered networks cannot misroute, and
@@ -553,7 +554,8 @@ class CreditFlowControl(FlowControl):
 
     # ------------------------------------------------------------------
     def step(self, net: "RouterEngine", cycle: int) -> EjectedFlits:
-        n, p = net.num_nodes, NUM_PORTS
+        n, p = net.num_nodes, net.num_ports
+        eject_port = p  # local delivery: first id past the link ports
 
         # --- Link arrivals drain into the input buffers -----------------
         slot_meta, slot_birth = net.arrival_slot()
@@ -576,13 +578,10 @@ class CreditFlowControl(FlowControl):
             h_valid, net.arbitration_keys(h_birth, h_meta), _KEY_MAX
         )
         if net._dist is None:
-            # Fault-free: deterministic XY (deadlock-free).
-            dx, dy = net.topology.deltas(net._node_col, h_dest)
-            x_port = np.where(dx > 0, 1, 3)
-            y_port = np.where(dy > 0, 2, 0)
-            h_out = np.where(
-                dx != 0, x_port, np.where(dy != 0, y_port, EJECT_PORT)
-            )
+            # Fault-free: the topology's deterministic primary port (XY
+            # on the grids — deadlock-free; shortest-hop on graphs).
+            h_p0, _ = net.topology.productive_ports(net._node_col, h_dest)
+            h_out = np.where(h_p0 >= 0, h_p0, eject_port)
         else:
             # Permanent faults: minimal routing on the healthy graph —
             # first port whose neighbor is strictly closer to dest.  A
@@ -593,14 +592,13 @@ class CreditFlowControl(FlowControl):
             good = net.link_up[:, None, :] & (d_next < d_here[:, :, None])
             h_out = np.where(
                 h_dest == net._node_col,
-                EJECT_PORT,
+                eject_port,
                 np.where(good.any(axis=2), np.argmax(good, axis=2), -1),
             )
 
         # --- Output arbitration: one winner per output port --------------
         neighbor = net.topology.neighbor
-        opposite = net.topology.opposite
-        send_slot = net.send_slot
+        reverse = net.topology.reverse_port
         ejected = EjectedFlits.empty()
         mark = net.congested_nodes.any()
         # Faulted links cannot be granted; the flit stays buffered (XY
@@ -619,14 +617,14 @@ class CreditFlowControl(FlowControl):
                 q_mask = getattr(net.fault_model, "quiescing", None)
                 if q_mask is not None and q_mask.any():
                     quiesce = q_mask
-        for out_port in range(NUM_PORTS + 1):
+        for out_port in range(p + 1):
             key = np.where(h_out == out_port, h_key, _KEY_MAX)
             col = np.argmin(key, axis=1)
             rows = np.flatnonzero(key[net._node_ids, col] != _KEY_MAX)
             if rows.size == 0:
                 continue
             in_ports = col[rows]
-            if out_port == EJECT_PORT:
+            if out_port == eject_port:
                 meta, birth = net.buffers.pop(rows, in_ports)
                 net.stats.buffer_reads += rows.size
                 net.account_ejections(cycle, rows, meta, cycle - birth)
@@ -637,7 +635,7 @@ class CreditFlowControl(FlowControl):
             # everything already there plus flits still on the wire; the
             # link itself must also be healthy this cycle.
             down = neighbor[rows, out_port].astype(np.int64)
-            down_port = int(opposite[out_port])
+            down_port = reverse[rows, out_port].astype(np.int64)
             space = (
                 net.buffers.count[down, down_port]
                 + net.reserved[down, down_port]
@@ -652,7 +650,8 @@ class CreditFlowControl(FlowControl):
                         & (h_dest[rows, in_ports] == down)
                     )
                 space &= ~blocked
-            rows, in_ports, down = rows[space], in_ports[space], down[space]
+            rows, in_ports = rows[space], in_ports[space]
+            down, down_port = down[space], down_port[space]
             if rows.size == 0:
                 continue
             meta, birth = net.buffers.pop(rows, in_ports)
@@ -661,8 +660,11 @@ class CreditFlowControl(FlowControl):
             if mark:
                 meta[net.congested_nodes[rows]] |= CBIT_MASK
             idx = down * p + down_port
-            net._ring_meta[send_slot, idx] = meta
-            net._ring_birth[send_slot, idx] = birth
+            # Distinct directed links per (down, down_port) pair, so the
+            # fancy-index writes and the credit increment never collide.
+            slot = net.link_send_slot(net._lat_out[rows, out_port])
+            net._ring_meta[slot, idx] = meta
+            net._ring_birth[slot, idx] = birth
             net.reserved[down, down_port] += 1
             net.stats.flit_hops += rows.size
             if net.tracer is not None:
@@ -672,7 +674,7 @@ class CreditFlowControl(FlowControl):
                 )
 
         # --- Injection through the NI input buffer -----------------------
-        ni_space = net.buffers.count[:, NI_PORT] < self.buffer_capacity
+        ni_space = net.buffers.count[:, p] < self.buffer_capacity
         net.injection_stage(
             cycle, ni_space,
             lambda nodes, queue, cyc: self._place(net, nodes, queue, cyc),
@@ -688,7 +690,7 @@ class CreditFlowControl(FlowControl):
             net.tracer.record(
                 EV_INJECT, cycle, nodes, nodes, dest, kind, seq, 0
             )
-        ports = np.full(nodes.shape, NI_PORT, dtype=np.int64)
+        ports = np.full(nodes.shape, net.num_ports, dtype=np.int64)
         net.buffers.push(
             nodes, ports,
             pack_meta(dest, nodes, kind, seq),
@@ -814,16 +816,30 @@ class RouterEngine(NocModel):
         self._arb = ARBITRATION_POLICIES[arbitration]()
         self._rng = rng if rng is not None else child_rng(0, "arbitration")
 
-        n, p = self.num_nodes, NUM_PORTS
-        self._ring_meta = np.zeros((hop_latency, n * p), dtype=np.int64)
-        self._ring_birth = np.full((hop_latency, n * p), -1, dtype=np.int64)
+        n, p = self.num_nodes, topology.num_ports
+        self.num_ports = p
+        # Per-(node, out port) hop latency: router pipeline plus that
+        # link's wire cycles.  Grid topologies have uniform unit wires;
+        # express/chiplet layouts stretch their long links.  The ring is
+        # as deep as the slowest link; a flit entering a link with hop
+        # latency L is written L-1 slots ahead of the arrival cursor, so
+        # every row still retires all its flits on its arrival cycle.
+        extra = topology.link_latency.astype(np.int64) - 1
+        self._lat_out = np.where(topology.link_exists, hop_latency + extra,
+                                 hop_latency)
+        self._ring_depth = int(self._lat_out.max())
+        self._uniform_latency = bool(
+            (self._lat_out == hop_latency).all()
+        )
+        self._ring_meta = np.zeros((self._ring_depth, n * p), dtype=np.int64)
+        self._ring_birth = np.full((self._ring_depth, n * p), -1, dtype=np.int64)
         self._cursor = 0
-        # Static scatter map: flat arrival slot (neighbor, opposite port)
+        # Static scatter map: flat arrival slot (neighbor, reverse port)
         # reached through each (node, out port).
         neighbor = topology.neighbor.astype(np.int64)
-        opp = topology.opposite.astype(np.int64)
+        rev = topology.reverse_port.astype(np.int64)
         self._target_flat = np.where(
-            topology.link_exists, neighbor * p + opp[None, :], -1
+            topology.link_exists, neighbor * p + rev, -1
         )
         self._node_ids = np.arange(n, dtype=np.int64)
         self._node_col = self._node_ids[:, None]
@@ -892,7 +908,7 @@ class RouterEngine(NocModel):
 
     def router_wire_empty(self, node: int) -> bool:
         """No flit on any wire into or out of *node*, in any ring stage."""
-        p = NUM_PORTS
+        p = self.num_ports
         inbound = self._ring_birth[:, node * p:(node + 1) * p]
         if (inbound >= 0).any():
             return False
@@ -904,7 +920,8 @@ class RouterEngine(NocModel):
         """Both directions of link (node, port) are drained."""
         fwd = int(self._target_flat[node, port])
         neighbor = int(self.topology.neighbor[node, port])
-        back = int(self._target_flat[neighbor, int(self.topology.opposite[port])])
+        rev = int(self.topology.reverse_port[node, port])
+        back = int(self._target_flat[neighbor, rev])
         slots = [s for s in (fwd, back) if s >= 0]
         return not (self._ring_birth[:, slots] >= 0).any()
 
@@ -934,12 +951,17 @@ class RouterEngine(NocModel):
     def retire_arrivals(self) -> None:
         """Clear the consumed arrival slot and advance the ring cursor."""
         self._ring_birth[self._cursor] = -1
-        self._cursor = (self._cursor + 1) % self.hop_latency
+        self._cursor = (self._cursor + 1) % self._ring_depth
 
     @property
     def send_slot(self) -> int:
-        """Ring slot whose contents arrive ``hop_latency`` cycles out."""
-        return (self._cursor + self.hop_latency - 1) % self.hop_latency
+        """Ring slot whose contents arrive ``hop_latency`` cycles out
+        (the uniform-latency fast path)."""
+        return (self._cursor + self.hop_latency - 1) % self._ring_depth
+
+    def link_send_slot(self, lat_sel: np.ndarray) -> np.ndarray:
+        """Per-flit ring slots for links with hop latencies *lat_sel*."""
+        return (self._cursor + lat_sel - 1) % self._ring_depth
 
     def account_ejections(self, cycle, rows, meta, latencies) -> None:
         """Latency/hop statistics for a batch of delivered flits."""
@@ -993,7 +1015,10 @@ class RouterEngine(NocModel):
         """Scatter granted ``(node, out port)`` flits into the ring."""
         moving = out_birth >= 0
         idx = self._target_flat[moving]
-        slot = self.send_slot
+        if self._uniform_latency:
+            slot = self.send_slot
+        else:
+            slot = self.link_send_slot(self._lat_out[moving])
         self._ring_meta[slot, idx] = out_meta[moving]
         self._ring_birth[slot, idx] = out_birth[moving]
         self.stats.flit_hops += idx.size

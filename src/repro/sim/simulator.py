@@ -51,8 +51,7 @@ from repro.power.model import PowerModel
 from repro.rng import child_rng
 from repro.sim.pipeline import PhasePipeline
 from repro.sim.results import SimulationResult
-from repro.topology.mesh import Mesh2D
-from repro.topology.torus import Torus2D
+from repro.topology.registry import build_topology
 from repro.traffic.applications import ApplicationBehaviorArray
 from repro.traffic.locality import (
     ExponentialLocality,
@@ -84,8 +83,9 @@ PHASE_WRITES = {
 
 
 def _build_topology(config: SimulationConfig):
-    cls = Mesh2D if config.topology == "mesh" else Torus2D
-    return cls(config.width, config.height)
+    # Delegates to the registry (repro.topology.registry); the config
+    # already ran the matching geometry validation in __post_init__.
+    return build_topology(config)
 
 
 def _build_locality(config: SimulationConfig, topology):
@@ -178,8 +178,9 @@ class Simulator:
         self._epoch_start_hops = 0
         self._epoch_start_insns = 0.0
         # The central coordinator's location (for control traffic): the
-        # mesh center, where average distance to all nodes is minimal.
-        self.hub = self.topology.node_at(config.width // 2, config.height // 2)
+        # topology's center, where average distance to all nodes is
+        # minimal (the grid center on a mesh).
+        self.hub = self.topology.central_node()
         if self.fault_model is not None:
             # A fail-stopped hub moves to the nearest live router.
             self.hub = int(self.fault_model.remap[self.hub])

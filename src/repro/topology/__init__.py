@@ -1,5 +1,12 @@
-"""Network topologies: 2D mesh and 2D torus with XY routing support."""
+"""Network topologies.
 
+Closed-form grids (``Mesh2D``/``Torus2D``, the paper's §6.3 pair) plus
+the graph-described zoo (3D grids, chiplet, express — see
+:mod:`repro.topology.zoo`), all selectable by name through
+:mod:`repro.topology.registry`.
+"""
+
+from repro.topology.graph import GraphTopology
 from repro.topology.mesh import (
     EAST,
     INVALID_PORT,
@@ -11,11 +18,24 @@ from repro.topology.mesh import (
     WEST,
     opposite_port,
 )
+from repro.topology.registry import (
+    TOPOLOGIES,
+    TOPOLOGY_NAMES,
+    TopologyEntry,
+    build_topology,
+    prepare_config,
+)
 from repro.topology.torus import Torus2D
 
 __all__ = [
     "Mesh2D",
     "Torus2D",
+    "GraphTopology",
+    "TopologyEntry",
+    "TOPOLOGIES",
+    "TOPOLOGY_NAMES",
+    "build_topology",
+    "prepare_config",
     "NORTH",
     "EAST",
     "SOUTH",

@@ -57,6 +57,10 @@ class Mesh2D:
     """
 
     wraps = False
+    #: 2D coordinate grid: locality samplers may use the axis-split
+    #: sampling path (coord_x/coord_y + width/height) on this topology.
+    grid2d = True
+    num_ports = NUM_PORTS
 
     def __init__(self, width: int, height: int = 0):
         if width < 2:
@@ -79,6 +83,15 @@ class Mesh2D:
         self.num_links = int(self.link_exists.sum())
         self.ports_per_node = self.link_exists.sum(axis=1).astype(np.int32)
         self.opposite = _OPPOSITE
+        # Per-(node, port) form of ``opposite``: on a grid every node
+        # shares the same reverse-port row, but the router engine indexes
+        # per link so graph topologies with irregular ports work too.
+        self.reverse_port = np.broadcast_to(
+            _OPPOSITE, (self.num_nodes, NUM_PORTS)
+        ).copy()
+        # Per-directed-link extra wire latency in cycles; uniform on a
+        # grid, overridden by express/chiplet layouts for long links.
+        self.link_latency = np.ones((self.num_nodes, NUM_PORTS), dtype=np.int32)
 
     def _fill_neighbors(self) -> None:
         n = np.arange(self.num_nodes)
@@ -100,6 +113,10 @@ class Mesh2D:
     def coords(self, node: int) -> Tuple[int, int]:
         """Coordinates ``(x, y)`` of *node*."""
         return int(self.coord_x[node]), int(self.coord_y[node])
+
+    def central_node(self) -> int:
+        """The node used as the shared-resource hub (memory controller)."""
+        return self.node_at(self.width // 2, self.height // 2)
 
     # ------------------------------------------------------------------
     # Routing

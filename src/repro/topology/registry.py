@@ -1,0 +1,187 @@
+"""The topology registry: name -> (geometry validation, builder).
+
+`SimulationConfig.__post_init__` used to special-case ``("mesh",
+"torus")`` with a width x height fit check; every new layout would have
+grown that if-ladder.  Instead each registered topology owns a
+``prepare`` hook (infer missing geometry from the workload size, raise
+clear errors for bad shapes — e.g. non-cubic 3D sizes) and a ``build``
+hook (construct the topology object from a prepared config).  The
+config layer, the simulator, and the CLI all consult this table, so
+adding a layout is one :class:`TopologyEntry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.topology import zoo
+from repro.topology.mesh import Mesh2D
+from repro.topology.torus import Torus2D
+
+__all__ = [
+    "TopologyEntry",
+    "TOPOLOGIES",
+    "TOPOLOGY_NAMES",
+    "prepare_config",
+    "build_topology",
+]
+
+
+@dataclass(frozen=True)
+class TopologyEntry:
+    """One selectable topology."""
+
+    name: str
+    #: one-line description (README table, ``--help``)
+    description: str
+    #: geometry hook: fills zeroed dimensions on the config in place and
+    #: validates the shape, raising ``ValueError`` with a clear message
+    prepare: Callable
+    #: builder: prepared config -> topology instance
+    build: Callable
+
+
+def _prepare_grid2d(config) -> None:
+    n = config.num_nodes
+    if config.width == 0:
+        side = int(round(n ** 0.5))
+        if side * side != n:
+            raise ValueError(
+                f"workload size {n} is not square; pass width/height"
+            )
+        config.width = side
+    if config.height == 0:
+        config.height = config.width
+    if config.width * config.height != n:
+        raise ValueError(
+            f"{config.width}x{config.height} topology does not fit "
+            f"{n}-node workload"
+        )
+
+
+def _prepare_grid3d(config) -> None:
+    n = config.num_nodes
+    if config.width == 0 and config.depth > 0:
+        # Depth hint only: split into ``depth`` square layers.
+        if n % config.depth:
+            raise ValueError(
+                f"depth {config.depth} does not divide the "
+                f"{n}-node workload"
+            )
+        layer = n // config.depth
+        side = int(round(layer ** 0.5))
+        if side * side != layer:
+            raise ValueError(
+                f"{n} nodes over {config.depth} layers is not a square "
+                f"layer; pass width/height"
+            )
+        config.width = config.height = side
+        return
+    if config.width == 0:
+        side = int(round(n ** (1.0 / 3.0)))
+        if side ** 3 != n:
+            raise ValueError(
+                f"workload size {n} is not a cube; pass width/height/depth "
+                f"for the {config.topology} topology"
+            )
+        config.width = config.height = side
+        config.depth = side
+        return
+    if config.height == 0:
+        config.height = config.width
+    if config.depth == 0:
+        layer = config.width * config.height
+        if n % layer:
+            raise ValueError(
+                f"workload size {n} is not a multiple of the "
+                f"{config.width}x{config.height} layer; pass depth"
+            )
+        config.depth = n // layer
+    if config.width * config.height * config.depth != n:
+        raise ValueError(
+            f"{config.width}x{config.height}x{config.depth} topology does "
+            f"not fit {n}-node workload"
+        )
+
+
+def _prepare_chiplet(config) -> None:
+    _prepare_grid2d(config)
+    tile = config.chiplet_tile
+    if tile < 2:
+        raise ValueError(f"chiplet_tile must be at least 2, got {tile}")
+    if config.width % tile or config.height % tile:
+        raise ValueError(
+            f"chiplet_tile {tile} must divide both dimensions of the "
+            f"{config.width}x{config.height} grid"
+        )
+
+
+def _prepare_express(config) -> None:
+    _prepare_grid2d(config)
+    if config.express_stride < 2:
+        raise ValueError(
+            f"express_stride must be at least 2, got {config.express_stride}"
+        )
+
+
+_ENTRIES = (
+    TopologyEntry(
+        "mesh", "2D mesh, XY routing (the paper's baseline, Table 2)",
+        _prepare_grid2d,
+        lambda config: Mesh2D(config.width, config.height),
+    ),
+    TopologyEntry(
+        "torus", "2D torus with shorter-wrap XY routing (paper §6.3)",
+        _prepare_grid2d,
+        lambda config: Torus2D(config.width, config.height),
+    ),
+    TopologyEntry(
+        "mesh3d", "3D mesh, XYZ dimension-order routing",
+        _prepare_grid3d,
+        lambda config: zoo.mesh3d(config.width, config.height, config.depth),
+    ),
+    TopologyEntry(
+        "torus3d", "3D torus, XYZ dimension-order routing",
+        _prepare_grid3d,
+        lambda config: zoo.torus3d(config.width, config.height, config.depth),
+    ),
+    TopologyEntry(
+        "chiplet",
+        "2D-mesh chiplets bridged by hub routers (--chiplet-tile)",
+        _prepare_chiplet,
+        lambda config: zoo.chiplet(
+            config.width, config.height, config.chiplet_tile
+        ),
+    ),
+    TopologyEntry(
+        "express",
+        "2D mesh plus long-range express channels (--express-stride)",
+        _prepare_express,
+        lambda config: zoo.express(
+            config.width, config.height, config.express_stride
+        ),
+    ),
+)
+
+#: Registry table; insertion order is the canonical CLI/choices order.
+TOPOLOGIES = {entry.name: entry for entry in _ENTRIES}
+
+#: Canonical name tuple for CLI ``choices`` and error messages.
+TOPOLOGY_NAMES = tuple(entry.name for entry in _ENTRIES)
+
+
+def prepare_config(config) -> None:
+    """Validate/prepare *config*'s topology geometry in place."""
+    entry = TOPOLOGIES.get(config.topology)
+    if entry is None:
+        raise ValueError(
+            f"unknown topology {config.topology!r}; "
+            f"expected one of {TOPOLOGY_NAMES}"
+        )
+    entry.prepare(config)
+
+
+def build_topology(config):
+    """Construct the topology a prepared config describes."""
+    return TOPOLOGIES[config.topology].build(config)

@@ -1,0 +1,194 @@
+"""The topology generator zoo.
+
+Each generator returns a finalized :class:`~repro.topology.graph.GraphTopology`.
+Port numbering always starts with the 2D-mesh convention (0=N, 1=E, 2=S,
+3=W) so deflection fallbacks (lowest free port) behave like the classic
+mesh wherever the layouts overlap; extra dimensions/link classes claim
+ports 4+.
+
+Layouts (ROADMAP open item 2; extends the paper's §6.3 mesh-vs-torus
+comparison):
+
+- ``mesh3d`` / ``torus3d``: width x height x depth grids, node id
+  ``z*w*h + y*w + x``, z-axis ports UP (z+1) and DOWN (z-1).  The
+  port-scan order (x, then y, then z) makes the BFS route tables
+  reproduce XYZ dimension-order routing.
+- ``chiplet``: the grid partitioned into ``tile x tile`` chiplets, each
+  an isolated 2D mesh; the center node of each chiplet is a hub with
+  bridge links (ports 4-7, latency = tile size) to the four neighboring
+  chiplets' hubs — clusters of meshes joined by long inter-chiplet
+  wires.
+- ``express``: a 2D mesh plus express channels (ports 4-7) skipping
+  ``stride`` nodes along each row and column at stride intervals, with
+  latency = stride.  Express links collapse hop counts on long paths,
+  the classic express-cube construction.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import GraphTopology
+from repro.topology.mesh import EAST, NORTH, SOUTH, WEST
+
+__all__ = [
+    "UP",
+    "DOWN",
+    "graph_mesh2d",
+    "mesh3d",
+    "torus3d",
+    "chiplet",
+    "express",
+]
+
+#: z-axis ports for the 3D grids.
+UP = 4      # toward z + 1
+DOWN = 5    # toward z - 1
+
+#: XY scan order: x-direction ports first, then y (mesh XY routing).
+_SCAN_XY = (EAST, WEST, NORTH, SOUTH)
+#: XYZ scan order for the 3D grids.
+_SCAN_XYZ = (EAST, WEST, NORTH, SOUTH, UP, DOWN)
+
+# Chiplet bridge ports (hub routers only) and express-channel ports,
+# mirroring the N/E/S/W convention of ports 0-3.
+BRIDGE_N, BRIDGE_E, BRIDGE_S, BRIDGE_W = 4, 5, 6, 7
+EXP_E, EXP_W, EXP_S, EXP_N = 4, 5, 6, 7
+
+
+def _check_dims(name, **dims):
+    for key, value in sorted(dims.items()):
+        if value < 2:
+            raise ValueError(f"{name} {key} must be at least 2, got {value}")
+
+
+def graph_mesh2d(width: int, height: int) -> GraphTopology:
+    """A 2D mesh as a GraphTopology.
+
+    Routing-equivalent to :class:`~repro.topology.mesh.Mesh2D` (the
+    bit-identity test in ``tests/test_topology_zoo.py`` pins this); used
+    as the equivalence witness for the graph machinery, not exposed in
+    the CLI zoo.
+    """
+    _check_dims("mesh", width=width, height=height)
+    topo = GraphTopology(
+        width * height, 4, name=f"graph_mesh2d({width}x{height})",
+        port_scan_order=_SCAN_XY,
+    )
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            if x < width - 1:
+                topo.add_link(node, EAST, node + 1, WEST)
+            if y < height - 1:
+                topo.add_link(node, SOUTH, node + width, NORTH)
+    return topo.finalize()
+
+
+def _grid3d(name, width, height, depth, wrap):
+    _check_dims(name, width=width, height=height, depth=depth)
+    n_layer = width * height
+    topo = GraphTopology(
+        n_layer * depth, 6, name=f"{name}({width}x{height}x{depth})",
+        port_scan_order=_SCAN_XYZ,
+    )
+    for z in range(depth):
+        for y in range(height):
+            for x in range(width):
+                node = z * n_layer + y * width + x
+                if x < width - 1:
+                    topo.add_link(node, EAST, node + 1, WEST)
+                elif wrap and width > 2:
+                    topo.add_link(node, EAST, node - (width - 1), WEST)
+                if y < height - 1:
+                    topo.add_link(node, SOUTH, node + width, NORTH)
+                elif wrap and height > 2:
+                    topo.add_link(node, SOUTH, node - (height - 1) * width, NORTH)
+                if z < depth - 1:
+                    topo.add_link(node, UP, node + n_layer, DOWN)
+                elif wrap and depth > 2:
+                    topo.add_link(node, UP, node - (depth - 1) * n_layer, DOWN)
+    topo.width, topo.height, topo.depth = width, height, depth
+    return topo.finalize()
+
+
+def mesh3d(width: int, height: int, depth: int) -> GraphTopology:
+    """``width x height x depth`` 3D mesh with XYZ routing order."""
+    return _grid3d("mesh3d", width, height, depth, wrap=False)
+
+
+def torus3d(width: int, height: int, depth: int) -> GraphTopology:
+    """3D torus.  Like :class:`~repro.topology.torus.Torus2D`, a
+    length-2 dimension keeps only the forward link (both wrap directions
+    would reach the same node)."""
+    return _grid3d("torus3d", width, height, depth, wrap=True)
+
+
+def chiplet(width: int, height: int, tile: int) -> GraphTopology:
+    """Hierarchical chiplet layout: ``tile x tile`` 2D-mesh clusters,
+    hub routers bridged to neighboring clusters with latency-``tile``
+    links."""
+    _check_dims("chiplet", width=width, height=height, tile=tile)
+    if width % tile or height % tile:
+        raise ValueError(
+            f"chiplet tile size {tile} must divide both grid dimensions "
+            f"({width}x{height})"
+        )
+    topo = GraphTopology(
+        width * height, 8, name=f"chiplet({width}x{height}/t{tile})",
+        port_scan_order=(EAST, WEST, NORTH, SOUTH,
+                         BRIDGE_E, BRIDGE_W, BRIDGE_N, BRIDGE_S),
+    )
+    # Intra-chiplet 2D meshes: mesh links that stay inside a tile.
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            if x % tile != tile - 1:
+                topo.add_link(node, EAST, node + 1, WEST)
+            if y % tile != tile - 1:
+                topo.add_link(node, SOUTH, node + width, NORTH)
+    # Inter-chiplet bridges between hub routers (tile centers).
+    tiles_x, tiles_y = width // tile, height // tile
+
+    def hub(tx, ty):
+        return (ty * tile + tile // 2) * width + tx * tile + tile // 2
+
+    for ty in range(tiles_y):
+        for tx in range(tiles_x):
+            if tx < tiles_x - 1:
+                topo.add_link(hub(tx, ty), BRIDGE_E,
+                              hub(tx + 1, ty), BRIDGE_W, latency=tile)
+            if ty < tiles_y - 1:
+                topo.add_link(hub(tx, ty), BRIDGE_S,
+                              hub(tx, ty + 1), BRIDGE_N, latency=tile)
+    topo.width, topo.height, topo.tile = width, height, tile
+    return topo.finalize()
+
+
+def express(width: int, height: int, stride: int) -> GraphTopology:
+    """2D mesh plus express channels skipping *stride* nodes along each
+    row and column, at stride intervals, with latency = stride.
+
+    If the grid is too small for any express link the layout degrades to
+    a plain mesh (still valid — useful for tiny smoke configs).
+    """
+    _check_dims("express", width=width, height=height, stride=stride)
+    topo = GraphTopology(
+        width * height, 8, name=f"express({width}x{height}/s{stride})",
+        port_scan_order=(EXP_E, EXP_W, EXP_N, EXP_S, EAST, WEST, NORTH, SOUTH),
+    )
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            if x < width - 1:
+                topo.add_link(node, EAST, node + 1, WEST)
+            if y < height - 1:
+                topo.add_link(node, SOUTH, node + width, NORTH)
+    for y in range(height):
+        for x in range(0, width - stride, stride):
+            topo.add_link(y * width + x, EXP_E,
+                          y * width + x + stride, EXP_W, latency=stride)
+    for x in range(width):
+        for y in range(0, height - stride, stride):
+            topo.add_link(y * width + x, EXP_S,
+                          (y + stride) * width + x, EXP_N, latency=stride)
+    topo.width, topo.height, topo.stride = width, height, stride
+    return topo.finalize()

@@ -51,11 +51,34 @@ class UniformStriping:
 
 
 class _DistanceLocality:
-    """Shared machinery: sample a hop distance, then a node at it."""
+    """Shared machinery: sample a hop distance, then a node at it.
+
+    2D grids use the axis-split sampler (split the distance across x/y,
+    pick random signs, fold at edges).  Graph topologies have no
+    coordinate system, so they precompute per-source distance buckets
+    from the BFS table and draw a uniform node at the sampled distance —
+    the same target distance distribution, topology-agnostic.
+    """
 
     def __init__(self, topology):
         self.topology = topology
         self._max_dist = topology.max_distance()
+        self._grid2d = bool(getattr(topology, "grid2d", False))
+        if not self._grid2d:
+            dist = np.asarray(topology.distance_table())
+            n = topology.num_nodes
+            # Row r of ``_order`` lists all nodes sorted by distance from
+            # r (stable, so same-distance nodes stay in id order);
+            # ``_bucket_start/_bucket_count`` index the run of nodes at
+            # each exact distance.
+            self._order = np.argsort(dist, axis=1, kind="stable").astype(np.int32)
+            counts = np.zeros((n, self._max_dist + 1), dtype=np.int64)
+            rows = np.repeat(np.arange(n), n)
+            np.add.at(counts, (rows, dist.ravel().astype(np.int64)), 1)
+            self._bucket_count = counts
+            self._bucket_start = np.zeros_like(counts)
+            np.cumsum(counts[:, :-1], axis=1, out=self._bucket_start[:, 1:])
+            self._ecc = dist.max(axis=1).astype(np.int64)
 
     def _sample_distance(self, size: int, rng: np.random.Generator) -> np.ndarray:
         raise NotImplementedError
@@ -63,6 +86,14 @@ class _DistanceLocality:
     def sample(self, src: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         src = np.asarray(src, dtype=np.int64)
         topo = self.topology
+        if not self._grid2d:
+            # Clip per-source: every distance 1..ecc(src) is populated on
+            # a connected graph, so the bucket is never empty.
+            d = np.clip(self._sample_distance(src.size, rng), 1, self._ecc[src])
+            start = self._bucket_start[src, d]
+            count = self._bucket_count[src, d]
+            pick = start + rng.integers(0, count)
+            return self._order[src, pick].astype(np.int64)
         d = np.clip(self._sample_distance(src.size, rng), 1, self._max_dist)
         # Split the distance across the two axes and pick random signs.
         a = rng.integers(0, d + 1)

@@ -252,3 +252,60 @@ class TestTransport:
         kinds = {e.kind for e in config.events}
         assert {"link_down", "router_down", "controller_down",
                 "noise_start"} <= kinds
+
+
+class TestZooTopologies:
+    """Chaos campaigns on graph-described topologies (PR 7).
+
+    The quiesce/hard-down drain machinery must be port-count generic:
+    a z-axis link on a 3D torus and an inter-chiplet bridge link fail
+    and heal mid-run with zero flit loss, exactly like mesh links.
+    """
+
+    def _run(self, topology, nodes, events, **kw):
+        config = ChaosConfig(events=tuple(events), seed=3)
+        return run_campaign(
+            "bless", config=config, cycles=3500, nodes=nodes,
+            topology=topology, **kw,
+        )
+
+    def test_torus3d_z_link_campaign_lossless(self):
+        from repro.topology.zoo import UP
+
+        res = self._run("torus3d", 27, [
+            ChaosEvent(400, "link_down", node=5, port=UP),
+            ChaosEvent(1600, "link_up", node=5, port=UP),
+        ])
+        assert res.flit_conservation_ok
+        assert res.ejected_flits > 0
+        report = res.chaos
+        assert report.applied_events == 2
+        for rec in report.events:
+            assert not rec.skipped
+            assert rec.recovery_cycles >= 0
+
+    def test_chiplet_bridge_campaign_lossless(self):
+        from repro.topology.zoo import BRIDGE_E
+        from repro.topology.mesh import EAST
+
+        # Hub 18 bridges tile (0,0) to tile (1,0); node 5's EAST link
+        # is an ordinary intra-tile mesh link.
+        res = self._run("chiplet", 64, [
+            ChaosEvent(400, "link_down", node=18, port=BRIDGE_E),
+            ChaosEvent(1200, "link_down", node=5, port=EAST),
+            ChaosEvent(2000, "link_up", node=18, port=BRIDGE_E),
+            ChaosEvent(2400, "link_up", node=5, port=EAST),
+        ])
+        assert res.flit_conservation_ok
+        assert res.ejected_flits > 0
+        report = res.chaos
+        assert report.applied_events == 4
+        assert all(not rec.skipped for rec in report.events)
+
+    def test_router_fail_stop_on_torus3d(self):
+        res = self._run("torus3d", 27, [
+            ChaosEvent(500, "router_down", node=13),
+            ChaosEvent(2200, "router_up", node=13),
+        ])
+        assert res.flit_conservation_ok
+        assert res.chaos.applied_events == 2
