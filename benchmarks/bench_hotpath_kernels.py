@@ -1,0 +1,234 @@
+"""Hot-path kernel benchmark and regression gate (PR 8).
+
+Measures simulator throughput (cycles/sec, best-of-N) with the compiled
+native backend (``SimulationConfig.backend = "native"``) at the same
+four points as ``bench_router_engine.py``, and reports the speedup over
+the pure-numpy engine recorded in ``BENCH_pr4.json``.  The committed
+``BENCH_pr8.json`` is the post-kernel baseline; CI re-runs the
+measurement and gates on both a maximum regression percentage against
+the committed numbers and a minimum speedup factor over the numpy
+reference.
+
+Usage::
+
+    # measure and write a fresh payload (speedups vs the numpy engine)
+    PYTHONPATH=src python benchmarks/bench_hotpath_kernels.py \
+        --reference BENCH_pr4.json --out BENCH_pr8.json
+
+    # CI gate: fail when any point regresses > 5% vs the committed file
+    # or the speedup over the numpy reference drops below the floor
+    PYTHONPATH=src python benchmarks/bench_hotpath_kernels.py \
+        --reference BENCH_pr4.json --baseline BENCH_pr8.json \
+        --check 5 --speedup-floor 5 --out -
+
+Points are identical to the router-engine bench so the two payloads are
+directly comparable.  This is a standalone script, not a pytest
+benchmark: it times the hot loop directly so the numbers are comparable
+across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+#: (label, network, nodes, cycles) measurement points — the same grid as
+#: bench_router_engine.py, so speedups line up point for point.
+POINTS = (
+    ("bless-8x8", "bless", 64, 4000),
+    ("bless-16x16", "bless", 256, 1200),
+    ("buffered-8x8", "buffered", 64, 4000),
+    ("buffered-16x16", "buffered", 256, 1200),
+)
+
+BENCH_SCHEMA = 1
+
+
+def _build_simulator(network: str, nodes: int, seed: int):
+    from repro.config import SimulationConfig
+    from repro.sim.simulator import Simulator
+    from repro.traffic.workloads import make_category_workload
+
+    workload = make_category_workload(
+        "H", nodes, np.random.default_rng(seed)
+    )
+    return Simulator(
+        SimulationConfig(
+            workload, seed=seed, epoch=1000, network=network,
+            backend="native",
+        )
+    )
+
+
+def measure(repeats: int = 3, scale: float = 1.0, seed: int = 1) -> dict:
+    """Best-of-``repeats`` cycles/sec for every benchmark point."""
+    points = {}
+    # Warm-up: the first construction pays the one-time kernel compile
+    # (or .so load) plus import and numpy caches.
+    _build_simulator("bless", 16, seed).run(500)
+    for label, network, nodes, cycles in POINTS:
+        budget = max(int(cycles * scale), 500)
+        best = 0.0
+        for _ in range(repeats):
+            sim = _build_simulator(network, nodes, seed)
+            start = time.perf_counter()
+            sim.run(budget)
+            best = max(best, budget / (time.perf_counter() - start))
+        points[label] = {
+            "network": network,
+            "nodes": nodes,
+            "cycles": budget,
+            "cycles_per_sec": best,
+        }
+    return points
+
+
+def compare(points: dict, baseline: dict) -> dict:
+    """Per-point regression percentage vs baseline (negative = faster)."""
+    out = {}
+    for label, entry in points.items():
+        base = baseline.get(label)
+        if base is None:
+            continue
+        out[label] = (
+            1.0 - entry["cycles_per_sec"] / base["cycles_per_sec"]
+        ) * 100.0
+    return out
+
+
+def speedups(points: dict, reference: dict) -> dict:
+    """Per-point speedup factor of *points* over the numpy *reference*."""
+    out = {}
+    for label, entry in points.items():
+        ref = reference.get(label)
+        if ref is None:
+            continue
+        out[label] = entry["cycles_per_sec"] / ref["cycles_per_sec"]
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr8.json",
+                        help="output JSON path ('-' skips the file)")
+    parser.add_argument(
+        "--reference", default=None, metavar="FILE",
+        help="numpy-engine bench JSON (BENCH_pr4.json); its points are "
+             "the denominator for the reported speedups",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="prior pr8 bench JSON; its points are the --check reference",
+    )
+    parser.add_argument(
+        "--check", type=float, default=None, metavar="PCT",
+        help="exit 1 when any point regresses more than PCT percent "
+             "versus the baseline",
+    )
+    parser.add_argument(
+        "--speedup-floor", type=float, default=None, metavar="X",
+        help="exit 1 when any point's speedup over the reference drops "
+             "below X",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="cycle-budget multiplier")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    from repro.native import native_available
+
+    if not native_available():
+        # No C compiler: nothing to measure.  Gates must not silently
+        # pass, so a requested check fails loudly instead.
+        print("native backend unavailable (no C compiler); skipping",
+              file=sys.stderr)
+        return 2 if (args.check is not None or
+                     args.speedup_floor is not None) else 0
+
+    reference_points = None
+    if args.reference:
+        reference_points = json.loads(
+            pathlib.Path(args.reference).read_text("utf-8")
+        )["points"]
+
+    baseline_points = None
+    if args.baseline:
+        baseline_points = json.loads(
+            pathlib.Path(args.baseline).read_text("utf-8")
+        )["points"]
+
+    points = measure(repeats=args.repeats, scale=args.scale, seed=args.seed)
+    speedup = speedups(points, reference_points) if reference_points else None
+    payload = {
+        "bench": "pr8-hotpath-kernels",
+        "schema": BENCH_SCHEMA,
+        "backend": "native",
+        "repeats": args.repeats,
+        "points": points,
+        "reference_points": reference_points,
+        "speedup_vs_reference": speedup,
+        "baseline_points": baseline_points,
+        "regression_pct": (
+            compare(points, baseline_points) if baseline_points else None
+        ),
+    }
+
+    print(f"{'point':<16} {'cycles/s':>12} {'numpy ref':>12} {'speedup':>8}")
+    for label, entry in points.items():
+        ref = (reference_points or {}).get(label)
+        ref_s = f"{ref['cycles_per_sec']:>12,.0f}" if ref else f"{'-':>12}"
+        spd = (speedup or {}).get(label)
+        spd_s = f"{spd:.1f}x" if spd is not None else "-"
+        print(f"{label:<16} {entry['cycles_per_sec']:>12,.0f} "
+              f"{ref_s} {spd_s:>8}")
+
+    if args.out != "-":
+        pathlib.Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True,
+                       allow_nan=False) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+
+    status = 0
+    if args.check is not None:
+        if not payload["regression_pct"]:
+            print("no baseline to check against", file=sys.stderr)
+            return 2
+        worst_label = max(
+            payload["regression_pct"], key=payload["regression_pct"].get
+        )
+        worst = payload["regression_pct"][worst_label]
+        if worst > args.check:
+            print(f"regression check FAILED: {worst_label} is "
+                  f"{worst:.1f}% slower (limit {args.check:g}%)",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"regression check OK (worst {worst_label}: "
+                  f"{worst:+.1f}%, limit {args.check:g}%)")
+    if args.speedup_floor is not None:
+        if not speedup:
+            print("no reference to check speedup against", file=sys.stderr)
+            return 2
+        slowest = min(speedup, key=speedup.get)
+        if speedup[slowest] < args.speedup_floor:
+            print(f"speedup check FAILED: {slowest} is only "
+                  f"{speedup[slowest]:.1f}x the numpy engine "
+                  f"(floor {args.speedup_floor:g}x)", file=sys.stderr)
+            status = 1
+        else:
+            print(f"speedup check OK (slowest {slowest}: "
+                  f"{speedup[slowest]:.1f}x, floor "
+                  f"{args.speedup_floor:g}x)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="controller/measurement period T")
     parser.add_argument("--network", choices=("bless", "buffered", "hybrid"),
                         default="bless")
+    parser.add_argument(
+        "--backend", choices=("numpy", "native"), default="numpy",
+        help="hot-path backend: pure-numpy reference or compiled C kernels "
+             "(bit-identical; requires a C compiler on first use)",
+    )
     parser.add_argument("--topology", choices=TOPOLOGY_NAMES,
                         default="mesh")
     parser.add_argument(
@@ -535,6 +540,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         epoch=args.epoch,
         network=args.network,
+        backend=args.backend,
         topology=args.topology,
         depth=args.depth,
         chiplet_tile=args.chiplet_tile,

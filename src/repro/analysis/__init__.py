@@ -16,6 +16,7 @@ Rules (see DESIGN.md §S22 for the full semantics):
 DET001     no wall-clock/entropy sources in simulation hot paths
 DET002     no dict/set iteration without ``sorted(...)`` in hot paths
 DET003     RNG streams must come from :func:`repro.rng.child_rng`
+DET004     numpy sort/argsort in hot paths must pass ``kind="stable"``
 SCHEMA001  serialized-result field set pinned to a version-keyed hash
 PHASE001   pipeline phases only write declared simulator attributes
 CFG001     config dataclass / CLI flags / JobSpec canonical keys sync
@@ -43,6 +44,7 @@ from repro.analysis.determinism import (
     Det001WallClock,
     Det002UnsortedIteration,
     Det003RngProvenance,
+    Det004UnstableSort,
 )
 from repro.analysis.phasecontract import Phase001PhaseWrites
 from repro.analysis.schema import Schema001ResultFieldHash, field_hash
@@ -67,6 +69,7 @@ def all_rules() -> Tuple[Rule, ...]:
         Det001WallClock(),
         Det002UnsortedIteration(),
         Det003RngProvenance(),
+        Det004UnstableSort(),
         Phase001PhaseWrites(),
         Schema001ResultFieldHash(),
     )

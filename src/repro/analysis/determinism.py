@@ -1,4 +1,4 @@
-"""Determinism rules (DET001-DET003).
+"""Determinism rules (DET001-DET004).
 
 The simulator's headline guarantee is bit-identical results for the same
 :class:`~repro.harness.jobs.JobSpec` across serial runs, process pools,
@@ -21,6 +21,15 @@ DET003
     derives from the run seed; ad-hoc ``numpy.random.default_rng(...)``
     constructors fragment the seed discipline (two components can end up
     sharing — or silently forking — a stream).
+DET004
+    No unstable ``sort``/``argsort``.  Numpy's default kind is an
+    introsort whose tie order is implementation- and version-dependent;
+    a simulation array full of tied sentinels (e.g. ``_KEY_MAX``) can
+    therefore sort differently across numpy releases.  Every numpy
+    ``sort``/``argsort`` in sim scope must pass ``kind="stable"`` (or
+    ``"mergesort"``, its alias).  Python's ``sorted(...)``/``list.sort``
+    are stable by language guarantee; method calls using the list-only
+    ``key=``/``reverse=`` keywords are recognized as such.
 """
 
 from __future__ import annotations
@@ -37,7 +46,12 @@ from repro.analysis.core import (
     import_aliases,
 )
 
-__all__ = ["Det001WallClock", "Det002UnsortedIteration", "Det003RngProvenance"]
+__all__ = [
+    "Det001WallClock",
+    "Det002UnsortedIteration",
+    "Det003RngProvenance",
+    "Det004UnstableSort",
+]
 
 
 #: Exact dotted names that read a wall clock or an entropy pool.
@@ -211,6 +225,85 @@ class Det002UnsortedIteration(Rule):
                         "wrap it in sorted(...) so simulation event order "
                         "cannot depend on insertion/hash order",
                     )
+
+
+#: ``kind=`` values numpy documents as stable.
+_STABLE_KINDS = frozenset({"stable", "mergesort"})
+
+#: Keywords only the list signature accepts (``list.sort(key=, reverse=)``)
+#: — their presence proves the receiver is not an ndarray.
+_LIST_ONLY_KEYWORDS = frozenset({"key", "reverse"})
+
+#: Module-level numpy entry points with a ``kind=`` parameter.
+#: ``numpy.lexsort``/``numpy.sort_complex`` are always stable/fixed and
+#: ``sorted`` is the stable builtin, so none of those are flagged.
+_NUMPY_SORTS = frozenset({"numpy.sort", "numpy.argsort"})
+
+
+def _stable_kind(node: ast.Call) -> Optional[bool]:
+    """Whether the call pins a stable ``kind=``; None when absent."""
+    for keyword in node.keywords:
+        if keyword.arg == "kind":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                return value.value in _STABLE_KINDS
+            return False  # dynamic kind: cannot prove stability
+    return None
+
+
+class Det004UnstableSort(Rule):
+    """Unstable sort/argsort calls in simulation hot paths."""
+
+    id = "DET004"
+    summary = (
+        'numpy sort/argsort in simulation hot paths must pass kind="stable" '
+        "(tie order of the default introsort is numpy-version-dependent)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.sim_files():
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._sort_call(node, aliases)
+            if target is None:
+                continue
+            stable = _stable_kind(node)
+            if stable is True:
+                continue
+            problem = (
+                "passes a non-stable kind=" if stable is False
+                else "uses the default unstable introsort"
+            )
+            yield source.finding(
+                self.id,
+                node,
+                f"{target} {problem}; tie order is numpy-version-dependent "
+                'in simulation code — pass kind="stable" (suppress with '
+                "noqa[DET004] only for proven non-ndarray receivers)",
+            )
+
+    @staticmethod
+    def _sort_call(
+        node: ast.Call, aliases: Dict[str, str]
+    ) -> Optional[str]:
+        """Describe *node* when it is a sort call DET004 polices."""
+        name = _canonical_call(node, aliases)
+        if name in _NUMPY_SORTS:
+            return f"{name}()"
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr not in ("sort", "argsort"):
+            return None
+        if any(kw.arg in _LIST_ONLY_KEYWORDS for kw in node.keywords):
+            return None  # list.sort(key=..., reverse=...): stable builtin
+        owner = dotted_name(func.value) or "<expr>"
+        return f"{owner}.{func.attr}()"
 
 
 class Det003RngProvenance(Rule):

@@ -52,6 +52,10 @@ class SimulationConfig:
     chiplet_tile: int = 4  # chiplet topology: cluster edge length
     express_stride: int = 4  # express topology: skip-link span
     network: str = "bless"  # "bless" | "buffered" | "hybrid"
+    #: hot-path execution backend: "numpy" (pure vectorized Python, the
+    #: reference) or "native" (compiled C kernels, bit-identical results;
+    #: falls back with an error when the configuration is unsupported)
+    backend: str = "numpy"
     router_latency: int = 2
     link_latency: int = 1
     eject_width: int = 1
@@ -111,6 +115,8 @@ class SimulationConfig:
         prepare_config(self)
         if self.network not in ("bless", "buffered", "hybrid"):
             raise ValueError(f"unknown network {self.network!r}")
+        if self.backend not in ("numpy", "native"):
+            raise ValueError(f"unknown backend {self.backend!r}")
         if self.side_buffer_capacity < 1:
             raise ValueError("side_buffer_capacity must be >= 1")
         if self.epoch < 1:

@@ -54,8 +54,12 @@ class DistributedController(Controller):
         self._marked[hit] = True
 
     def on_epoch(self, view: EpochView) -> np.ndarray:
-        # (i) congested nodes start marking passing flits.
-        self.network.congested_nodes = view.starvation_rate > self.starvation_threshold
+        # (i) congested nodes start marking passing flits.  In-place so
+        # observers holding the array (e.g. the native backend's pointer
+        # table) see the update.
+        self.network.congested_nodes[:] = (
+            view.starvation_rate > self.starvation_threshold
+        )
         # (ii) marked receivers back off; others decay toward full rate.
         self._rates = np.where(
             self._marked, self.backoff_rate, self._rates * self.decay

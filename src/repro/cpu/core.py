@@ -153,6 +153,16 @@ class CoreArray:
         nodes = np.flatnonzero(missers)
         if nodes.size == 0:
             return
+        self._issue_misses(nodes, cycle)
+
+    def _issue_misses(self, nodes: np.ndarray, cycle: int) -> None:
+        """Issue one L1-miss request per node in *nodes*.
+
+        Shared tail of :meth:`step`: also called by the native backend
+        (which computes the misser set in C but must draw destinations
+        and gaps from the same RNG streams, in the same order, as the
+        pure-numpy path).
+        """
         dest = self.locality.sample(nodes, self.rng)
         seq = (self._issued[nodes] % SEQ_RING).astype(np.int64)
         ok = self.network.enqueue_requests(

@@ -1,0 +1,371 @@
+"""ctypes bridge between the simulator and the compiled kernels.
+
+:class:`NativeAccel` gathers the simulator's numpy buffers into a
+pointer table (one slot per array, in the exact order of the C enum in
+``kernels.c``) and drives the four hot phases through the compiled
+entry points.  The kernels mutate the *same* arrays Python owns, so
+every live view (queues, buffers, per-node stats arrays, core state)
+stays coherent without copies; only Python-scalar statistics need a
+per-cycle mirror flush.
+
+Configurations the kernels do not model raise
+:class:`NativeUnsupported` at construction time — the backend is opt-in
+and refuses loudly rather than silently diverging from the reference.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.network.base import EjectedFlits
+from repro.network.flit import SEQ_RING
+from repro.native.build import NativeBuildError, load_library
+
+__all__ = ["NativeAccel", "NativeUnsupported"]
+
+_KEY_MAX = np.iinfo(np.int64).max
+
+#: C-side port-count cap (MAX_PORTS in kernels.c).
+_MAX_PORTS = 64
+
+_ARB_CODES = {"oldest_first": 0, "youngest_first": 1, "random": 2}
+
+# cfg slots (must match the CFG_* enum in kernels.c)
+(
+    CFG_N, CFG_P, CFG_DEPTH, CFG_EJECT_W, CFG_QCAP, CFG_SW, CFG_ARB,
+    CFG_ISSUE_W, CFG_WINDOW, CFG_MSHR, CFG_REPLY_FLITS, CFG_L2_LAT,
+    CFG_EJ_CAP, CFG_PEND_CAP, CFG_BUF_CAP, CFG_SLOT_COUNT, CFG_REQ_FLITS,
+    CFG_NUM,
+) = range(18)
+
+# ctr slots (must match the CTR_* enum in kernels.c)
+(
+    CTR_CURSOR, CTR_SPOS, CTR_SSEEN, CTR_CYCLES, CTR_INJ, CTR_EJ_FLITS,
+    CTR_HOPS, CTR_DEFL, CTR_BWRITES, CTR_BREADS, CTR_OCC, CTR_LAT_SUM,
+    CTR_LAT_CNT, CTR_LAT_MAX, CTR_HOPS_SUM, CTR_INJLAT_SUM,
+    CTR_INJLAT_CNT, CTR_HEAD_DIRTY, CTR_MISS_CNT, CTR_MEM_CURSOR,
+    CTR_PEND_CNT, CTR_REQ_SERVICED, CTR_REP_ISSUED, CTR_EJ_COUNT,
+    CTR_ERROR, CTR_ACCEPTED, CTR_NUM,
+) = range(27)
+
+_ERRORS = {
+    1: "pointer-table slot count mismatch (rebuild the kernels)",
+    2: "memory service ring overflow",
+    3: "pending-reply scratch overflow",
+    4: "ejection scratch overflow",
+    5: f"too many router ports for the native backend (max {_MAX_PORTS})",
+}
+
+
+class NativeUnsupported(RuntimeError):
+    """This configuration cannot run on the compiled backend."""
+
+
+def _check(condition: bool, why: str) -> None:
+    if not condition:
+        raise NativeUnsupported(f"native backend: {why}")
+
+
+class NativeAccel:
+    """Compiled drop-in for the behavior-independent simulator phases."""
+
+    def __init__(self, sim):
+        config = sim.config
+        net = sim.network
+        cores = sim.cores
+        memory = sim.memory
+        _check(
+            config.network in ("bless", "buffered"),
+            f"network {config.network!r} is not implemented in C "
+            "(only 'bless' and 'buffered' are)",
+        )
+        _check(sim.fault_model is None, "fault/chaos campaigns need the "
+               "reference implementation's recovery paths")
+        _check(sim.tracer is None, "flit tracing hooks only exist in the "
+               "reference implementation")
+        _check(sim.checker is None, "the invariant checker needs "
+               "reference-side intermediate state")
+        _check(net._p0_flat is not None,
+               "topology too large for precomputed route tables")
+        n, p = net.num_nodes, net.num_ports
+        _check(p + 1 <= _MAX_PORTS - 1, "router has too many ports")
+        try:
+            self._lib = load_library()
+        except NativeBuildError as exc:
+            raise NativeUnsupported(f"native backend: {exc}") from exc
+
+        self._sim = sim
+        self._net = net
+        self._cores = cores
+        self._memory = memory
+        self._stats = net.stats
+        self._buffered = config.network == "buffered"
+        arb = _ARB_CODES[net.arbitration]
+        self._arb_random = arb == _ARB_CODES["random"]
+        self._rng = net._rng
+
+        eject_width = net.eject_width if not self._buffered else 1
+        ej_cap = n * eject_width
+        pend_cap = n * cores.mshr_limit + ej_cap + 8
+        l2 = memory.l2_latency
+        qcap = net.request_queue.capacity
+
+        i64, u8 = np.int64, np.bool_
+
+        def alloc(shape, dtype):
+            return np.zeros(shape, dtype=dtype)
+
+        # Contiguous int64 copies of topology tables the C side indexes
+        # flat; the topology is immutable under the supported configs.
+        self._neighbor = np.ascontiguousarray(
+            net.topology.neighbor, dtype=i64
+        )
+        self._reverse = np.ascontiguousarray(
+            net.topology.reverse_port, dtype=i64
+        )
+        self._link_up = np.ascontiguousarray(net.link_up, dtype=u8)
+
+        # Working grids owned by the accel (the reference path's arena
+        # grids stay untouched so both paths can coexist in one process).
+        self._g_meta = alloc((n, p), i64)
+        self._g_birth = alloc((n, p), i64)
+        self._g_key = alloc((n, p), i64)
+        self._g_avail = alloc((n, p), u8)
+        self._g_outm = alloc((n, p), i64)
+        self._g_outb = alloc((n, p), i64)
+        self._h_key = alloc((n, p + 1), i64)
+        self._h_out = alloc((n, p + 1), i64)
+        self._w_node = alloc(n, i64)
+        self._w_in = alloc(n, i64)
+        self._w_down = alloc(n, i64)
+        self._w_dport = alloc(n, i64)
+
+        # Ejection batch, exposed back to Python as array views.
+        self._ej_node = alloc(ej_cap, i64)
+        self._ej_src = alloc(ej_cap, i64)
+        self._ej_kind = alloc(ej_cap, i64)
+        self._ej_seq = alloc(ej_cap, i64)
+        self._ej_cbit = alloc(ej_cap, u8)
+
+        # Core-phase miss output + (node, seq)-dedup scratch.
+        self._miss_out = alloc(n, i64)
+        self._issue_dest = alloc(n, i64)
+        self._visited = alloc(max(n * SEQ_RING, 1), np.uint8)
+
+        # Memory system state lives entirely on the C side (the Python
+        # MemorySystem ring holds object tuples, which C cannot share).
+        self._mem_srv = alloc((l2, ej_cap), i64)
+        self._mem_req = alloc((l2, ej_cap), i64)
+        self._mem_seq = alloc((l2, ej_cap), i64)
+        self._mem_cnt = alloc(l2, i64)
+        self._pend_s = alloc(pend_cap, i64)
+        self._pend_r = alloc(pend_cap, i64)
+        self._pend_q = alloc(pend_cap, i64)
+        self._scr_s = alloc(2 * pend_cap, i64)
+        self._scr_r = alloc(2 * pend_cap, i64)
+        self._scr_q = alloc(2 * pend_cap, i64)
+
+        dummy64 = alloc(1, i64)
+        dummy32 = alloc(1, np.int32)
+        if self._buffered:
+            buf = net.buffers
+            buf_meta, buf_birth = buf.meta, buf.birth
+            buf_head, buf_count = buf.head, buf.count
+            reserved = net.reserved
+            buf_cap = net.buffer_capacity
+        else:
+            buf_meta = buf_birth = dummy64
+            buf_head = buf_count = reserved = dummy32
+            buf_cap = 0
+
+        req, resp = net.request_queue, net.response_queue
+        meter, gate = net.starvation, net.throttle
+        stats = net.stats
+        # Slot order here IS the C enum in kernels.c — append-only.
+        arrays = [
+            net._ring_meta, net._ring_birth, net._lat_out,
+            net._target_flat, self._link_up, self._neighbor,
+            self._reverse, net._p0_flat, net._p1_flat,
+            net.congested_nodes,
+            req.dest, req.kind, req.flits, req.stamp, req.seq,
+            req.head, req.count,
+            resp.dest, resp.kind, resp.flits, resp.stamp, resp.seq,
+            resp.head, resp.count,
+            gate.counter, gate.rate, meter._ring, meter._sum,
+            stats.injected_per_node, stats.starved_cycles,
+            stats.port_starved_cycles, stats.latency_hist,
+            self._g_meta, self._g_birth, self._g_key, self._g_avail,
+            self._g_outm, self._g_outb,
+            self._h_key, self._h_out,
+            self._w_node, self._w_in, self._w_down, self._w_dport,
+            buf_meta, buf_birth, buf_head, buf_count, reserved,
+            self._ej_node, self._ej_src, self._ej_kind, self._ej_seq,
+            self._ej_cbit,
+            cores.active, cores.retired, cores._issue_pos, cores._recv,
+            cores._complete, cores._issued, cores._completed,
+            cores._head, cores._insns_until_miss, cores.epoch_insns,
+            cores.stall_cycles, cores.window_stall_cycles,
+            self._miss_out,
+            self._visited,
+            self._mem_srv, self._mem_req, self._mem_seq, self._mem_cnt,
+            self._pend_s, self._pend_r, self._pend_q,
+            self._scr_s, self._scr_r, self._scr_q,
+            cores.misses_issued, cores.epoch_flits, self._issue_dest,
+        ]
+        for a in arrays:
+            assert a.flags["C_CONTIGUOUS"], "pointer-table arrays must be contiguous"
+        self._arrays = arrays  # keep the buffers alive
+        self._pt = (ctypes.c_void_p * len(arrays))(
+            *[a.ctypes.data for a in arrays]
+        )
+
+        cfg = np.zeros(CFG_NUM, dtype=np.int64)
+        cfg[CFG_N] = n
+        cfg[CFG_P] = p
+        cfg[CFG_DEPTH] = net._ring_depth
+        cfg[CFG_EJECT_W] = eject_width
+        cfg[CFG_QCAP] = qcap
+        cfg[CFG_SW] = meter.window
+        cfg[CFG_ARB] = arb
+        cfg[CFG_ISSUE_W] = cores.issue_width
+        cfg[CFG_WINDOW] = cores.window_size
+        cfg[CFG_MSHR] = cores.mshr_limit
+        cfg[CFG_REPLY_FLITS] = cores.reply_flits
+        cfg[CFG_L2_LAT] = l2
+        cfg[CFG_EJ_CAP] = ej_cap
+        cfg[CFG_PEND_CAP] = pend_cap
+        cfg[CFG_BUF_CAP] = buf_cap
+        cfg[CFG_SLOT_COUNT] = len(arrays)
+        cfg[CFG_REQ_FLITS] = cores.request_flits
+        self._cfg = cfg
+
+        ctr = np.zeros(CTR_NUM, dtype=np.int64)
+        ctr[CTR_CURSOR] = net._cursor
+        ctr[CTR_SPOS] = meter._pos
+        ctr[CTR_SSEEN] = meter._cycles_seen
+        ctr[CTR_CYCLES] = stats.cycles
+        ctr[CTR_INJ] = stats.injected_flits
+        ctr[CTR_EJ_FLITS] = stats.ejected_flits
+        ctr[CTR_HOPS] = stats.flit_hops
+        ctr[CTR_DEFL] = stats.deflections
+        ctr[CTR_BWRITES] = stats.buffer_writes
+        ctr[CTR_BREADS] = stats.buffer_reads
+        ctr[CTR_OCC] = stats.buffer_occupancy_sum
+        ctr[CTR_LAT_SUM] = stats.latency_sum
+        ctr[CTR_LAT_CNT] = stats.latency_count
+        ctr[CTR_LAT_MAX] = stats.latency_max
+        ctr[CTR_HOPS_SUM] = stats.hops_sum
+        ctr[CTR_INJLAT_SUM] = net.injection_latency_sum
+        ctr[CTR_INJLAT_CNT] = net.injection_latency_count
+        ctr[CTR_HEAD_DIRTY] = int(cores._head_dirty)
+        ctr[CTR_MEM_CURSOR] = memory._cursor
+        ctr[CTR_REQ_SERVICED] = memory.requests_serviced
+        ctr[CTR_REP_ISSUED] = memory.replies_issued
+        self._ctr = ctr
+
+        ll = ctypes.POINTER(ctypes.c_longlong)
+        self._cfg_p = cfg.ctypes.data_as(ll)
+        self._ctr_p = ctr.ctypes.data_as(ll)
+        self._net_kernel = (
+            self._lib.noc_credit if self._buffered else self._lib.noc_bless
+        )
+        self._key_grid = self._h_key if self._buffered else self._g_key
+        self._empty_ejected = EjectedFlits.empty()
+        # The scalar-stats mirror flush is deferred to epoch boundaries
+        # and result() unless a per-cycle observer (the watchdog) reads
+        # the stats object between network steps.
+        self._eager_flush = sim.watchdog is not None
+
+    # ------------------------------------------------------------------
+    def _check_error(self) -> None:
+        code = int(self._ctr[CTR_ERROR])
+        if code:
+            raise RuntimeError(
+                f"native kernel error: {_ERRORS.get(code, code)}"
+            )
+
+    def flush(self) -> None:
+        """Mirror the C counters back onto the Python stat objects.
+
+        Array state needs no flushing (the kernels mutate the arrays
+        Python owns); this covers the Python *scalars* only.  Called at
+        epoch boundaries and before result() — and per network step
+        when a watchdog observes the stats every cycle.
+        """
+        ctr, stats, net = self._ctr, self._stats, self._net
+        stats.cycles = int(ctr[CTR_CYCLES])
+        stats.injected_flits = int(ctr[CTR_INJ])
+        stats.ejected_flits = int(ctr[CTR_EJ_FLITS])
+        stats.flit_hops = int(ctr[CTR_HOPS])
+        stats.deflections = int(ctr[CTR_DEFL])
+        stats.buffer_writes = int(ctr[CTR_BWRITES])
+        stats.buffer_reads = int(ctr[CTR_BREADS])
+        stats.buffer_occupancy_sum = int(ctr[CTR_OCC])
+        stats.latency_sum = int(ctr[CTR_LAT_SUM])
+        stats.latency_count = int(ctr[CTR_LAT_CNT])
+        stats.latency_max = int(ctr[CTR_LAT_MAX])
+        stats.hops_sum = int(ctr[CTR_HOPS_SUM])
+        net.injection_latency_sum = int(ctr[CTR_INJLAT_SUM])
+        net.injection_latency_count = int(ctr[CTR_INJLAT_CNT])
+        net._cursor = int(ctr[CTR_CURSOR])
+        meter = net.starvation
+        meter._pos = int(ctr[CTR_SPOS])
+        meter._cycles_seen = int(ctr[CTR_SSEEN])
+        self._memory.requests_serviced = int(ctr[CTR_REQ_SERVICED])
+        self._memory.replies_issued = int(ctr[CTR_REP_ISSUED])
+        self._cores._head_dirty = bool(ctr[CTR_HEAD_DIRTY])
+
+    # ------------------------------------------------------------------
+    # Phase drivers (called by the Simulator's native pipeline)
+    # ------------------------------------------------------------------
+    def cores_phase(self, cycle: int) -> None:
+        self._lib.noc_cores(self._pt, self._cfg_p, self._ctr_p, cycle)
+        self._check_error()
+        k = int(self._ctr[CTR_MISS_CNT])
+        if k:
+            # The reference miss tail, split around its RNG draws: the
+            # destinations and next gaps come from the same streams, in
+            # the same order, as CoreArray._issue_misses; the queue
+            # pushes and per-miss bookkeeping in between run in C.
+            cores = self._cores
+            self._issue_dest[:k] = cores.locality.sample(
+                self._miss_out[:k], cores.rng
+            )
+            self._lib.noc_issue(self._pt, self._cfg_p, self._ctr_p, cycle)
+            m = int(self._ctr[CTR_ACCEPTED])
+            if m:
+                accepted = self._miss_out[:m]
+                cores._insns_until_miss[accepted] = (
+                    cores.behavior.sample_gap(accepted, cores.rng)
+                )
+
+    def memory_phase(self, cycle: int) -> None:
+        self._lib.noc_memory(self._pt, self._cfg_p, self._ctr_p, cycle)
+        self._check_error()
+
+    def network_phase(self, cycle: int) -> EjectedFlits:
+        if self._arb_random:
+            # Same draw (size, dtype, bounds) as RandomArbitration, so
+            # the RNG stream matches the reference bit for bit.
+            self._key_grid[...] = self._rng.integers(
+                0, _KEY_MAX, size=self._key_grid.shape, dtype=np.int64
+            )
+        self._net_kernel(self._pt, self._cfg_p, self._ctr_p, cycle)
+        self._check_error()
+        if self._eager_flush:
+            self.flush()
+        if not self._sim._observe:
+            # Ejection consumers run in C (noc_eject); the batch only
+            # needs Python-side wrapping for an observing controller.
+            return self._empty_ejected
+        k = int(self._ctr[CTR_EJ_COUNT])
+        return EjectedFlits(
+            self._ej_node[:k], self._ej_src[:k], self._ej_kind[:k],
+            self._ej_seq[:k], self._ej_cbit[:k],
+        )
+
+    def ejection_phase(self, cycle: int) -> None:
+        self._lib.noc_eject(self._pt, self._cfg_p, self._ctr_p, cycle)
+        self._check_error()

@@ -1,0 +1,116 @@
+"""Compile-on-demand loader for the native hot-path kernels.
+
+The kernels ship as C source (``kernels.c``) and are compiled to a
+shared object on first use with whatever C compiler the host provides.
+The build artifact is tagged with a hash of the source so editing the
+kernels invalidates stale objects, and the compile is atomic (build to a
+temp file, ``os.replace`` into place) so concurrent processes never load
+a half-written library.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+__all__ = ["NativeBuildError", "load_library", "native_available"]
+
+
+class NativeBuildError(RuntimeError):
+    """The native kernels could not be compiled or loaded."""
+
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "kernels.c")
+_BUILD_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_build")
+
+#: Entry points exported by kernels.c; all share the same ABI.
+KERNELS = (
+    "noc_cores", "noc_issue", "noc_memory", "noc_bless", "noc_credit",
+    "noc_eject",
+)
+
+_lib = None
+
+
+def _find_compiler():
+    candidates = [os.environ.get("CC"), "cc", "gcc", "clang"]
+    for cc in candidates:
+        if cc and shutil.which(cc):
+            return cc
+    return None
+
+
+def _compile(so_path: str) -> None:
+    cc = _find_compiler()
+    if cc is None:
+        raise NativeBuildError(
+            "no C compiler found (tried $CC, cc, gcc, clang); "
+            "use backend='numpy' instead"
+        )
+    os.makedirs(_BUILD_DIR, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=_BUILD_DIR, suffix=".so.tmp")
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", tmp, _SRC],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise NativeBuildError(
+                f"compiling kernels.c with {cc!r} failed:\n{proc.stderr}"
+            )
+        os.replace(tmp, so_path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def load_library():
+    """The compiled kernel library, building it on first call.
+
+    Raises :class:`NativeBuildError` when no compiler is available or
+    the build fails; the result is cached for the process lifetime.
+    """
+    global _lib
+    if _lib is not None:
+        return _lib
+    with open(_SRC, "rb") as f:
+        tag = hashlib.sha256(f.read()).hexdigest()[:16]
+    so_path = os.path.join(_BUILD_DIR, f"kernels-{tag}.so")
+    if not os.path.exists(so_path):
+        _compile(so_path)
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError as exc:  # corrupt artifact: rebuild once
+        os.unlink(so_path)
+        _compile(so_path)
+        try:
+            lib = ctypes.CDLL(so_path)
+        except OSError as exc2:
+            raise NativeBuildError(f"loading {so_path} failed: {exc2}") from exc
+    abi = [
+        ctypes.POINTER(ctypes.c_void_p),
+        ctypes.POINTER(ctypes.c_longlong),
+        ctypes.POINTER(ctypes.c_longlong),
+        ctypes.c_longlong,
+    ]
+    for name in KERNELS:
+        fn = getattr(lib, name)
+        fn.argtypes = abi
+        fn.restype = None
+    _lib = lib
+    return lib
+
+
+def native_available() -> bool:
+    """Whether the compiled backend can be built and loaded here."""
+    try:
+        load_library()
+    except NativeBuildError:
+        return False
+    return True

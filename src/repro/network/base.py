@@ -80,7 +80,12 @@ class NetworkStats:
         if total == 0:
             return 0
         cum = np.cumsum(self.latency_hist)
-        return int(np.searchsorted(cum, p / 100.0 * total, side="left"))
+        # Nearest-rank with a floor of 1 so p=0 returns the minimum
+        # observed latency instead of (possibly empty) bucket 0; the
+        # clamp keeps float rounding at p=100 inside the histogram.
+        rank = max(p / 100.0 * total, 1)
+        idx = int(np.searchsorted(cum, rank, side="left"))
+        return min(idx, len(cum) - 1)
 
     @property
     def avg_latency(self) -> float:

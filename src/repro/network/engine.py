@@ -56,11 +56,13 @@ from repro.network.flit import (
     meta_src,
     pack_meta,
     priority_key,
+    priority_key_into,
 )
 from repro.topology.mesh import NUM_PORTS
 
 __all__ = [
     "ARBITRATION_POLICIES",
+    "ScratchArena",
     "ArbitrationPolicy",
     "OldestFirst",
     "YoungestFirst",
@@ -75,11 +77,41 @@ __all__ = [
 
 _KEY_MAX = np.iinfo(np.int64).max
 
+#: Largest network that precomputes (n, n) productive-route tables.
+_ROUTE_TABLE_MAX_NODES = 1024
+
 # Legacy 4-port-mesh aliases.  The engine itself is port-count generic:
 # per network, the NI input port and the eject output port are both
 # ``topology.num_ports`` (the first index past the link ports).
 NI_PORT = NUM_PORTS
 EJECT_PORT = NUM_PORTS
+
+
+# ----------------------------------------------------------------------
+# Scratch arena
+# ----------------------------------------------------------------------
+class ScratchArena:
+    """Named, preallocated per-cycle scratch buffers.
+
+    The steady-state cycle must not allocate fresh numpy arrays for its
+    working grids: every ``(nodes, ports)``-shaped temporary the flow
+    controls rebuild each cycle lives here instead and is reused via
+    ``out=``/``np.copyto``.  Buffers are keyed by name and allocated on
+    first use, so each flow control only pays for the grids it touches.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: dict = {}
+
+    def buf(self, name: str, shape, dtype) -> np.ndarray:
+        """The named scratch buffer, allocating it on first request."""
+        arr = self._bufs.get(name)
+        if arr is None:
+            arr = np.empty(shape, dtype=dtype)
+            self._bufs[name] = arr
+        return arr
 
 
 # ----------------------------------------------------------------------
@@ -93,6 +125,12 @@ class ArbitrationPolicy:
     def keys(self, engine: "RouterEngine", birth, meta) -> np.ndarray:
         raise NotImplementedError
 
+    def keys_into(self, engine: "RouterEngine", birth, meta, out, scratch):
+        """Allocation-free :meth:`keys` into *out* (*scratch* is an
+        int64 buffer of the same shape policies may clobber)."""
+        out[:] = self.keys(engine, birth, meta)
+        return out
+
 
 class OldestFirst(ArbitrationPolicy):
     """The paper's baseline: age order, ties broken by source id."""
@@ -101,6 +139,10 @@ class OldestFirst(ArbitrationPolicy):
 
     def keys(self, engine, birth, meta):
         return priority_key(birth, meta_src(meta))
+
+    def keys_into(self, engine, birth, meta, out, scratch):
+        meta_src(meta, out=scratch)
+        return priority_key_into(birth, scratch, out)
 
 
 class YoungestFirst(ArbitrationPolicy):
@@ -111,6 +153,11 @@ class YoungestFirst(ArbitrationPolicy):
     def keys(self, engine, birth, meta):
         return -priority_key(birth, meta_src(meta))
 
+    def keys_into(self, engine, birth, meta, out, scratch):
+        meta_src(meta, out=scratch)
+        priority_key_into(birth, scratch, out)
+        return np.negative(out, out=out)
+
 
 class RandomArbitration(ArbitrationPolicy):
     """Uniform random keys drawn fresh every cycle (§6 ablation)."""
@@ -119,6 +166,14 @@ class RandomArbitration(ArbitrationPolicy):
 
     def keys(self, engine, birth, meta):
         return engine._rng.integers(0, _KEY_MAX, size=birth.shape, dtype=np.int64)
+
+    def keys_into(self, engine, birth, meta, out, scratch):
+        # The generator draw itself allocates; keep the call identical
+        # (same size, dtype, bounds) so results match the legacy path.
+        out[:] = engine._rng.integers(
+            0, _KEY_MAX, size=birth.shape, dtype=np.int64
+        )
+        return out
 
 
 ARBITRATION_POLICIES = {
@@ -140,6 +195,11 @@ class BufferBank:
         self.birth = np.zeros(shape, dtype=np.int64)
         self.head = np.zeros((num_nodes, num_ports), dtype=np.int32)
         self.count = np.zeros((num_nodes, num_ports), dtype=np.int32)
+        # Flat-gather machinery for the allocation-free heads_into path.
+        self._flat_base = (
+            np.arange(num_nodes * num_ports, dtype=np.int64) * capacity
+        )
+        self._flat_idx = np.empty(num_nodes * num_ports, dtype=np.int64)
 
     def occupancy(self) -> int:
         return int(self.count.sum())
@@ -157,6 +217,14 @@ class BufferBank:
         meta = np.take_along_axis(self.meta, idx, axis=2)[:, :, 0]
         birth = np.take_along_axis(self.birth, idx, axis=2)[:, :, 0]
         return self.count > 0, meta, birth
+
+    def heads_into(self, valid, meta, birth):
+        """Allocation-free :meth:`heads` into preallocated buffers."""
+        np.add(self._flat_base, self.head.reshape(-1), out=self._flat_idx)
+        np.take(self.meta.reshape(-1), self._flat_idx, out=meta.reshape(-1))
+        np.take(self.birth.reshape(-1), self._flat_idx, out=birth.reshape(-1))
+        np.greater(self.count, 0, out=valid)
+        return valid, meta, birth
 
     def pop(self, nodes, ports):
         slot = self.head[nodes, ports]
@@ -284,6 +352,21 @@ class DeflectFlowControl(FlowControl):
         net._out_birth = np.full((n, p), -1, dtype=np.int64)
         net._avail = np.zeros((n, p), dtype=bool)
         net._spare = np.zeros((n, p), dtype=bool)
+        # Per-cycle working grids out of the shared scratch arena.
+        arena = net.arena
+        self._sc_meta = arena.buf("grid_meta", (n, p), np.int64)
+        self._sc_birth = arena.buf("grid_birth", (n, p), np.int64)
+        self._sc_valid = arena.buf("grid_valid", (n, p), np.bool_)
+        self._sc_invalid = arena.buf("grid_invalid", (n, p), np.bool_)
+        self._sc_dest = arena.buf("grid_dest", (n, p), np.int64)
+        self._sc_key = arena.buf("grid_key", (n, p), np.int64)
+        self._sc_tmp = arena.buf("grid_tmp", (n, p), np.int64)
+        self._sc_local = arena.buf("grid_local", (n, p), np.bool_)
+        self._sc_local_key = arena.buf("grid_local_key", (n, p), np.int64)
+        self._sc_idx = arena.buf("grid_idx", (n, p), np.int64)
+        self._sc_p0 = arena.buf("grid_p0", (n, p), np.int8)
+        self._sc_p1 = arena.buf("grid_p1", (n, p), np.int8)
+        self._sc_col = arena.buf("col", (n,), np.intp)
 
     def on_topology_change(self, net: "RouterEngine") -> None:
         _refresh_fault_routing(net)
@@ -326,25 +409,34 @@ class DeflectFlowControl(FlowControl):
     def step(self, net: "RouterEngine", cycle: int) -> EjectedFlits:
         n, p = net.num_nodes, net.num_ports
 
-        # --- Arrivals ----------------------------------------------------
+        # --- Arrivals (copied into the preallocated arena grids) ---------
         slot_meta, slot_birth = net.arrival_slot()
-        meta = slot_meta.reshape(n, p).copy()
-        birth = slot_birth.reshape(n, p).copy()
+        meta, birth = self._sc_meta, self._sc_birth
+        np.copyto(meta, slot_meta.reshape(n, p))
+        np.copyto(birth, slot_birth.reshape(n, p))
         net.retire_arrivals()
         self.redeem(net, cycle, meta, birth)
 
-        valid = birth >= 0
-        dest = meta_dest(meta)
-        key = np.where(valid, net.arbitration_keys(birth, meta), _KEY_MAX)
+        valid = np.greater_equal(birth, 0, out=self._sc_valid)
+        dest = meta_dest(meta, out=self._sc_dest)
+        key = net.arbitration_keys_into(birth, meta, self._sc_key, self._sc_tmp)
+        np.copyto(
+            key, _KEY_MAX,
+            where=np.logical_not(valid, out=self._sc_invalid),
+        )
 
         # --- Ejection: up to eject_width oldest local flits per node ----
-        local = valid & (dest == net._node_col)
+        local = np.equal(dest, net._node_col, out=self._sc_local)
+        local &= valid
         ejected = EjectedFlits.empty()
         ej_parts = []
         if local.any():
-            local_key = np.where(local, key, _KEY_MAX)
+            local_key = self._sc_local_key
+            local_key.fill(_KEY_MAX)
+            np.copyto(local_key, key, where=local)
+            col = self._sc_col
             for _ in range(self.eject_width):
-                col = np.argmin(local_key, axis=1)
+                np.argmin(local_key, axis=1, out=col)
                 rows = np.flatnonzero(local_key[net._node_ids, col] != _KEY_MAX)
                 if rows.size == 0:
                     break
@@ -360,8 +452,15 @@ class DeflectFlowControl(FlowControl):
         # Productive ports for every arrival, computed once.
         if net._dist is None:
             # Fault-free: the topology's productive-port preferences (XY
-            # on the grids, precomputed shortest-hop tables on graphs).
-            p0, p1 = net.topology.productive_ports(net._node_col, dest)
+            # on the grids, precomputed shortest-hop tables on graphs),
+            # gathered from the engine's route tables when present.
+            if net._p0_flat is not None:
+                net.productive_into(
+                    dest, self._sc_idx, self._sc_p0, self._sc_p1
+                )
+                p0, p1 = self._sc_p0, self._sc_p1
+            else:
+                p0, p1 = net.topology.productive_ports(net._node_col, dest)
             productive = None
         else:
             # Permanent faults: a port is productive iff its neighbor is
@@ -397,8 +496,11 @@ class DeflectFlowControl(FlowControl):
                 if q_mask is not None and q_mask.any():
                     quiesce = spare & q_mask
         out_meta, out_birth = net._out_meta, net._out_birth
-        out_birth[:] = -1
-        order = np.argsort(key, axis=1)
+        out_birth.fill(-1)
+        # Stable sort: rows are mostly tied _KEY_MAX sentinels, and the
+        # default introsort's tie order is numpy-version-dependent
+        # (DET004).  Live keys are unique, so ranks are unchanged.
+        order = np.argsort(key, axis=1, kind="stable")
         self.begin_allocation(net)
         for rank in range(p):
             cols = order[:, rank]
@@ -475,7 +577,11 @@ class DeflectFlowControl(FlowControl):
         # every in-flight flit already).
         free = avail[nodes]
         if net._dist is None:
-            p0, p1 = net.topology.productive_ports(nodes, dest)
+            if net._p0_table is not None:
+                p0 = net._p0_table[nodes, dest]
+                p1 = net._p1_table[nodes, dest]
+            else:
+                p0, p1 = net.topology.productive_ports(nodes, dest)
             k_idx = np.arange(nodes.size)
             ok0 = (p0 >= 0) & free[k_idx, np.where(p0 >= 0, p0, 0)]
             port = np.where(ok0, p0, -1)
@@ -536,6 +642,21 @@ class CreditFlowControl(FlowControl):
         # that every in-flight flit can still make progress.
         net._dist = None
         net._neighbor_safe = None
+        # Per-cycle head-of-queue grids out of the shared scratch arena.
+        n, pp = net.num_nodes, net.num_ports + 1
+        arena = net.arena
+        self._sc_h_valid = arena.buf("h_valid", (n, pp), np.bool_)
+        self._sc_h_invalid = arena.buf("h_invalid", (n, pp), np.bool_)
+        self._sc_h_meta = arena.buf("h_meta", (n, pp), np.int64)
+        self._sc_h_birth = arena.buf("h_birth", (n, pp), np.int64)
+        self._sc_h_dest = arena.buf("h_dest", (n, pp), np.int64)
+        self._sc_h_key = arena.buf("h_key", (n, pp), np.int64)
+        self._sc_h_tmp = arena.buf("h_tmp", (n, pp), np.int64)
+        self._sc_h_out = arena.buf("h_out", (n, pp), np.int64)
+        self._sc_h_idx = arena.buf("h_idx", (n, pp), np.int64)
+        self._sc_h_p0 = arena.buf("h_p0", (n, pp), np.int8)
+        self._sc_pkey = arena.buf("h_pkey", (n, pp), np.int64)
+        self._sc_col = arena.buf("col", (n,), np.intp)
 
     def held_flits(self, net) -> int:
         return net.buffers.occupancy()
@@ -572,16 +693,32 @@ class CreditFlowControl(FlowControl):
         net.retire_arrivals()
 
         # --- Route computation for every head-of-queue flit -------------
-        h_valid, h_meta, h_birth = net.buffers.heads()
-        h_dest = meta_dest(h_meta)
-        h_key = np.where(
-            h_valid, net.arbitration_keys(h_birth, h_meta), _KEY_MAX
+        h_valid, h_meta, h_birth = net.buffers.heads_into(
+            self._sc_h_valid, self._sc_h_meta, self._sc_h_birth
+        )
+        h_dest = meta_dest(h_meta, out=self._sc_h_dest)
+        h_key = net.arbitration_keys_into(
+            h_birth, h_meta, self._sc_h_key, self._sc_h_tmp
+        )
+        np.copyto(
+            h_key, _KEY_MAX,
+            where=np.logical_not(h_valid, out=self._sc_h_invalid),
         )
         if net._dist is None:
             # Fault-free: the topology's deterministic primary port (XY
-            # on the grids — deadlock-free; shortest-hop on graphs).
-            h_p0, _ = net.topology.productive_ports(net._node_col, h_dest)
-            h_out = np.where(h_p0 >= 0, h_p0, eject_port)
+            # on the grids — deadlock-free; shortest-hop on graphs),
+            # gathered from the engine's route tables when present.
+            if net._p0_flat is not None:
+                net.productive_into(h_dest, self._sc_h_idx, self._sc_h_p0)
+                h_p0 = self._sc_h_p0
+            else:
+                h_p0, _ = net.topology.productive_ports(net._node_col, h_dest)
+            h_out = self._sc_h_out
+            np.copyto(h_out, h_p0)
+            np.copyto(
+                h_out, eject_port,
+                where=np.less(h_p0, 0, out=self._sc_h_invalid),
+            )
         else:
             # Permanent faults: minimal routing on the healthy graph —
             # first port whose neighbor is strictly closer to dest.  A
@@ -617,10 +754,14 @@ class CreditFlowControl(FlowControl):
                 q_mask = getattr(net.fault_model, "quiescing", None)
                 if q_mask is not None and q_mask.any():
                     quiesce = q_mask
+        pkey, col = self._sc_pkey, self._sc_col
+        want = self._sc_h_invalid  # reuse: h_key masking is done
         for out_port in range(p + 1):
-            key = np.where(h_out == out_port, h_key, _KEY_MAX)
-            col = np.argmin(key, axis=1)
-            rows = np.flatnonzero(key[net._node_ids, col] != _KEY_MAX)
+            np.equal(h_out, out_port, out=want)
+            pkey.fill(_KEY_MAX)
+            np.copyto(pkey, h_key, where=want)
+            np.argmin(pkey, axis=1, out=col)
+            rows = np.flatnonzero(pkey[net._node_ids, col] != _KEY_MAX)
             if rows.size == 0:
                 continue
             in_ports = col[rows]
@@ -843,6 +984,27 @@ class RouterEngine(NocModel):
         )
         self._node_ids = np.arange(n, dtype=np.int64)
         self._node_col = self._node_ids[:, None]
+        # Scratch arena: every per-cycle working grid is preallocated
+        # here and reused via out=/copyto, so the steady-state cycle
+        # performs no numpy array allocations for its hot buffers.
+        self.arena = ScratchArena()
+        self._sc_moving = self.arena.buf("send_moving", (n, p), np.bool_)
+        # Fault-free productive-port lookup tables ((n, n) int8): one
+        # flat gather per cycle replaces the closed-form route math.
+        # Bounded so giant topologies don't pay O(n^2) memory; beyond
+        # the bound the engine falls back to computing routes per cycle.
+        self._p0_table = self._p1_table = None
+        self._p0_flat = self._p1_flat = None
+        self._row_base_col = None
+        if n <= _ROUTE_TABLE_MAX_NODES:
+            t0, t1 = topology.productive_ports(
+                self._node_ids[:, None], self._node_ids[None, :]
+            )
+            self._p0_table = np.ascontiguousarray(t0, dtype=np.int8)
+            self._p1_table = np.ascontiguousarray(t1, dtype=np.int8)
+            self._p0_flat = self._p0_table.reshape(-1)
+            self._p1_flat = self._p1_table.reshape(-1)
+            self._row_base_col = (self._node_ids * n)[:, None]
         # Injection-queueing latency statistics (time from enqueue at the
         # NI to entering the network), the paper's "injection latency";
         # only accumulated by flow controls that inject straight onto
@@ -944,6 +1106,22 @@ class RouterEngine(NocModel):
         """Per-flit arbitration keys; the smallest key wins a conflict."""
         return self._arb.keys(self, birth, meta)
 
+    def arbitration_keys_into(self, birth, meta, out, scratch) -> np.ndarray:
+        """Allocation-free :meth:`arbitration_keys` into scratch *out*."""
+        return self._arb.keys_into(self, birth, meta, out, scratch)
+
+    def productive_into(self, dest, idx, p0, p1=None):
+        """Gather fault-free productive ports from the route tables.
+
+        *dest* is a per-(node, port) destination grid; *idx*/*p0*/*p1*
+        are same-shaped scratch buffers.  Callers must check
+        ``self._p0_flat is not None`` first.
+        """
+        np.add(dest, self._row_base_col, out=idx)
+        np.take(self._p0_flat, idx, out=p0)
+        if p1 is not None:
+            np.take(self._p1_flat, idx, out=p1)
+
     def arrival_slot(self) -> Tuple[np.ndarray, np.ndarray]:
         """Raw ``(meta, birth)`` views of this cycle's arrival slot."""
         return self._ring_meta[self._cursor], self._ring_birth[self._cursor]
@@ -1013,7 +1191,7 @@ class RouterEngine(NocModel):
 
     def send_grid(self, cycle, out_meta, out_birth) -> None:
         """Scatter granted ``(node, out port)`` flits into the ring."""
-        moving = out_birth >= 0
+        moving = np.greater_equal(out_birth, 0, out=self._sc_moving)
         idx = self._target_flat[moving]
         if self._uniform_latency:
             slot = self.send_slot

@@ -46,6 +46,7 @@ __all__ = [
     "meta_hops",
     "meta_cbit",
     "priority_key",
+    "priority_key_into",
     "HOP_ONE",
     "CBIT_MASK",
 ]
@@ -92,12 +93,17 @@ def pack_meta(dest, src, kind, seq=0) -> np.ndarray:
     )
 
 
-def meta_dest(meta: np.ndarray) -> np.ndarray:
-    return meta & _NODE_MASK
+def meta_dest(meta: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    if out is None:
+        return meta & _NODE_MASK
+    return np.bitwise_and(meta, _NODE_MASK, out=out)
 
 
-def meta_src(meta: np.ndarray) -> np.ndarray:
-    return (meta >> _SRC_SHIFT) & _NODE_MASK
+def meta_src(meta: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    if out is None:
+        return (meta >> _SRC_SHIFT) & _NODE_MASK
+    np.right_shift(meta, _SRC_SHIFT, out=out)
+    return np.bitwise_and(out, _NODE_MASK, out=out)
 
 
 def meta_kind(meta: np.ndarray) -> np.ndarray:
@@ -126,3 +132,12 @@ def priority_key(birth: np.ndarray, src: np.ndarray) -> np.ndarray:
     return (np.asarray(birth, dtype=np.int64) << _SRC_SHIFT) | np.asarray(
         src, dtype=np.int64
     )
+
+
+def priority_key_into(
+    birth: np.ndarray, src: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Allocation-free :func:`priority_key` into a scratch buffer
+    (*src* must already be an int64 array, e.g. a ``meta_src`` scratch)."""
+    np.left_shift(birth, _SRC_SHIFT, out=out)
+    return np.bitwise_or(out, src, out=out)

@@ -74,7 +74,9 @@ class InjectionThrottleGate:
             raise ValueError("rates must have one entry per node")
         if np.any((rates < 0) | (rates > 1)):
             raise ValueError("throttle rates must lie in [0, 1]")
-        self.rate = rates.copy()
+        # In-place so observers holding the array (e.g. the native
+        # backend's pointer table) see the update.
+        self.rate[:] = rates
 
     def decide(self, trying: np.ndarray) -> np.ndarray:
         """Return the mask of nodes allowed to inject this cycle.

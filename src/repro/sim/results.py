@@ -122,7 +122,14 @@ class SimulationResult:
         if total == 0:
             return 0
         cum = np.cumsum(self.latency_hist)
-        return int(np.searchsorted(cum, p / 100.0 * total, side="left"))
+        # Nearest-rank: first bucket whose cumulative count reaches the
+        # target rank.  The rank floor of 1 makes p=0 the minimum
+        # observed latency (a bare target of 0 lands on bucket 0 even
+        # when it is empty); the index clamp keeps any float rounding at
+        # p=100 inside the histogram.
+        rank = max(p / 100.0 * total, 1)
+        idx = int(np.searchsorted(cum, rank, side="left"))
+        return min(idx, len(cum) - 1)
 
     @property
     def flit_conservation_ok(self) -> bool:

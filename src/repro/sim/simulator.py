@@ -71,9 +71,13 @@ PHASE_WRITES = {
     "_chaos_phase": (),
     "_behavior_phase": (),
     "_network_phase": ("_ejected",),
+    "_cores_phase_native": (),
+    "_memory_phase_native": (),
+    "_network_phase_native": ("_ejected",),
     "_invariants_hook": (),
     "_watchdog_hook": (),
     "_ejection_phase": (),
+    "_ejection_phase_native": (),
     "_epoch_phase": (
         "_epoch_start_hops",
         "_epoch_start_insns",
@@ -192,6 +196,14 @@ class Simulator:
         # by the guardrail hooks and the ejection phase.
         self._ejected = EjectedFlits.empty()
         self._observe = False
+        # Compiled hot-path backend (repro.native): opt-in via the
+        # config; unsupported configurations raise NativeUnsupported
+        # rather than silently running something slightly different.
+        self._accel = None
+        if config.backend == "native":
+            from repro.native import NativeAccel
+
+            self._accel = NativeAccel(self)
         self.pipeline = self._build_pipeline()
 
     # ------------------------------------------------------------------
@@ -212,6 +224,18 @@ class Simulator:
             # boundary, before any phase observes the topology.
             pipe.append("chaos", self._chaos_phase)
         pipe.append("behavior", self._behavior_phase)
+        if self._accel is not None:
+            # Native backend: same phase order, compiled phase bodies.
+            # Chaos and the invariant checker are gated off by the
+            # accel's construction checks, so neither appears here.
+            pipe.append("cores", self._cores_phase_native)
+            pipe.append("memory", self._memory_phase_native)
+            pipe.append("network", self._network_phase_native)
+            if self.watchdog is not None:
+                pipe.post_hook("network", self._watchdog_hook)
+            pipe.append("ejection", self._ejection_phase_native)
+            pipe.append("epoch", self._epoch_phase, every=self.config.epoch)
+            return pipe
         pipe.append("cores", self.cores.step)
         pipe.append("memory", self.memory.step)
         pipe.append("network", self._network_phase)
@@ -231,6 +255,22 @@ class Simulator:
 
     def _network_phase(self, cycle: int) -> None:
         self._ejected = self.network.step(cycle)
+
+    def _cores_phase_native(self, cycle: int) -> None:
+        self._accel.cores_phase(cycle)
+
+    def _memory_phase_native(self, cycle: int) -> None:
+        self._accel.memory_phase(cycle)
+
+    def _network_phase_native(self, cycle: int) -> None:
+        self._ejected = self._accel.network_phase(cycle)
+
+    def _ejection_phase_native(self, cycle: int) -> None:
+        """Native ejection: L2 + core delivery happen in C; only the
+        (optional) controller observation stays in Python."""
+        self._accel.ejection_phase(cycle)
+        if self._observe and self._ejected.node.size:
+            self.controller.on_ejected(self._ejected)
 
     def _invariants_hook(self, cycle: int) -> None:
         assert self.checker is not None  # only registered when enabled
@@ -257,6 +297,10 @@ class Simulator:
                 self.controller.on_ejected(ejected)
 
     def _epoch_phase(self, cycle: int) -> None:
+        if self._accel is not None:
+            # Scalar stats are flushed lazily on the native backend;
+            # epoch logic reads them, so sync before running it.
+            self._accel.flush()
         self._run_epoch()
 
     # ------------------------------------------------------------------
@@ -401,6 +445,8 @@ class Simulator:
         the aborted cycle runs, so the state summarized here is always a
         consistent whole number of cycles and epochs.
         """
+        if self._accel is not None:
+            self._accel.flush()
         stats = self.network.stats
         cores = self.cores
         flits = cores.misses_issued * (

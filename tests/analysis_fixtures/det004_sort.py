@@ -1,0 +1,17 @@
+"""DET004 fixture: unstable numpy sort/argsort calls."""
+# repro: analysis-scope=sim
+import numpy as np
+
+data = np.arange(8)
+pairs = [(1, "b"), (0, "a")]
+
+BAD_ARGSORT = np.argsort(data)
+BAD_SORT = np.sort(data, axis=0)
+BAD_METHOD = data.argsort()
+BAD_KIND = np.argsort(data, kind="quicksort")
+data.sort()
+OK_STABLE = np.argsort(data, kind="stable")
+OK_MERGESORT = np.sort(data, kind="mergesort")
+pairs.sort(key=lambda pair: pair[0])
+OK_BUILTIN = sorted(pairs)
+SUPPRESSED = np.argsort(data)  # repro: noqa[DET004]

@@ -97,6 +97,26 @@ def test_det003_fixture_exact_findings():
     assert {13, 14}.isdisjoint({f.line for f in findings})
 
 
+def test_det004_fixture_exact_findings():
+    findings = findings_for(FIXTURES / "det004_sort.py")
+    assert as_tuples(findings) == [
+        ("DET004", 8),
+        ("DET004", 9),
+        ("DET004", 10),
+        ("DET004", 11),
+        ("DET004", 12),
+    ]
+    messages = [f.message for f in findings]
+    assert "numpy.argsort()" in messages[0]
+    assert "numpy.sort()" in messages[1]
+    assert "data.argsort()" in messages[2]
+    assert "non-stable kind=" in messages[3]
+    assert "data.sort()" in messages[4]
+    # stable/mergesort kinds, list.sort(key=...), sorted(), and the
+    # noqa'd call (lines 13-17) produce nothing
+    assert {13, 14, 15, 16, 17}.isdisjoint({f.line for f in findings})
+
+
 def test_schema001_fixture_exact_findings():
     findings = findings_for(FIXTURES / "schema001_drift.py")
     assert as_tuples(findings) == [
@@ -161,6 +181,7 @@ def test_fixture_directory_totals():
         "DET001": 5,
         "DET002": 4,
         "DET003": 2,
+        "DET004": 5,
         "SCHEMA001": 3,
         "PHASE001": 4,
         "CFG001": 5,
@@ -322,8 +343,8 @@ def test_cli_exits_zero_on_src():
 def test_cli_exits_nonzero_with_rule_ids_on_fixtures():
     proc = run_cli(str(FIXTURES))
     assert proc.returncode == 1
-    for rule in ("DET001", "DET002", "DET003", "SCHEMA001", "PHASE001",
-                 "CFG001"):
+    for rule in ("DET001", "DET002", "DET003", "DET004", "SCHEMA001",
+                 "PHASE001", "CFG001"):
         assert rule in proc.stdout
 
 

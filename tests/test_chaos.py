@@ -24,6 +24,10 @@ from repro.sim.results import SimulationResult
 from repro.topology.mesh import Mesh2D
 from repro.traffic.workloads import make_homogeneous_workload
 
+# Full-simulation module: runs real multi-epoch simulations end to end.
+# Deselect with -m 'not slow' for a fast inner loop; CI runs everything.
+pytestmark = pytest.mark.slow
+
 DEMO = pathlib.Path(__file__).resolve().parents[1] / "examples" / "chaos_demo.json"
 
 #: The reference campaign: one link fails and heals, then one router

@@ -1,8 +1,8 @@
 """Tests for the ``python -m repro`` command-line front end."""
 
-import pytest
-
 import json
+
+import pytest
 
 from repro.__main__ import (
     build_parser,
@@ -10,6 +10,10 @@ from repro.__main__ import (
     build_sweep_parser,
     main,
 )
+
+# Full-simulation module: runs real multi-epoch simulations end to end.
+# Deselect with -m 'not slow' for a fast inner loop; CI runs everything.
+pytestmark = pytest.mark.slow
 
 
 class TestParser:

@@ -17,6 +17,10 @@ from repro.experiments import (
 from repro.experiments.runner import _ALONE_CACHE
 from repro.traffic.workloads import make_homogeneous_workload
 
+# Full-simulation module: runs real multi-epoch simulations end to end.
+# Deselect with -m 'not slow' for a fast inner loop; CI runs everything.
+pytestmark = pytest.mark.slow
+
 
 class TestTables:
     def test_format_table_alignment(self):

@@ -17,6 +17,7 @@ from repro.control import CentralController, ControlParams, EpochView
 from repro.network.base import NetworkStats
 
 
+@pytest.mark.slow
 class TestHotspotLocality:
     def test_validation(self, mesh8):
         with pytest.raises(ValueError):
@@ -90,6 +91,7 @@ def _view(ipf, sigma, epoch_ipc=None):
     )
 
 
+@pytest.mark.slow
 class TestFairController:
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -138,6 +140,7 @@ class TestFairController:
         assert fair.system_throughput > 0
 
 
+@pytest.mark.slow
 class TestLatencyPercentiles:
     def test_histogram_percentiles_match_reference(self):
         stats = NetworkStats()

@@ -27,6 +27,10 @@ from repro.harness import JobSpec, run_job, run_jobs
 from repro.rng import child_rng
 from repro.traffic.workloads import make_category_workload
 
+# Full-simulation module: runs real multi-epoch simulations end to end.
+# Deselect with -m 'not slow' for a fast inner loop; CI runs everything.
+pytestmark = pytest.mark.slow
+
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_results.json"
 
 #: Seed for the deterministic golden workload assignments.

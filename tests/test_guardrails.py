@@ -345,6 +345,7 @@ class TestFaultModel:
 # ---------------------------------------------------------------------------
 # Simulator integration
 # ---------------------------------------------------------------------------
+@pytest.mark.slow
 class TestSimulatorGuardrails:
     def _config(self, **kw):
         rng = np.random.default_rng(7)

@@ -21,6 +21,10 @@ from repro.harness import (
 from repro.harness.executor import default_jobs, resolve_jobs
 from repro.sim.results import RESULT_SCHEMA_VERSION, SimulationResult
 
+# Full-simulation module: runs real multi-epoch simulations end to end.
+# Deselect with -m 'not slow' for a fast inner loop; CI runs everything.
+pytestmark = pytest.mark.slow
+
 
 def small_spec(**overrides) -> JobSpec:
     kw = dict(

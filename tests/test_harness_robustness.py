@@ -19,6 +19,10 @@ from repro.harness.jobs import run_job as real_run_job
 from repro.experiments.runner import run_workload_safe
 from repro.traffic.workloads import make_homogeneous_workload
 
+# Full-simulation module: runs real multi-epoch simulations end to end.
+# Deselect with -m 'not slow' for a fast inner loop; CI runs everything.
+pytestmark = pytest.mark.slow
+
 needs_fork = pytest.mark.skipif(
     multiprocessing.get_start_method() != "fork",
     reason="worker-death injection requires fork-inherited patches",

@@ -144,6 +144,7 @@ def _hotspot_result(network: str):
     return result, sim.network.stats
 
 
+@pytest.mark.slow
 class TestHybridAcceptance:
     """The PR acceptance comparison on hotspot traffic (ISSUE 4)."""
 

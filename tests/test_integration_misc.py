@@ -1,5 +1,6 @@
 """Additional cross-module integration coverage."""
 
+import pytest
 
 from repro import (
     DistributedController,
@@ -10,6 +11,10 @@ from repro import (
     Workload,
     make_homogeneous_workload,
 )
+
+# Full-simulation module: runs real multi-epoch simulations end to end.
+# Deselect with -m 'not slow' for a fast inner loop; CI runs everything.
+pytestmark = pytest.mark.slow
 
 
 class TestIdleNodes:

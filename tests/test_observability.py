@@ -137,6 +137,53 @@ class TestFlitTracer:
         assert trip["hops"] == 2
         assert trip["latency"] == 3
 
+    def test_journeys_identity_reuse_opens_fresh_trip(self):
+        # seq wraps mod 256: the same (src, seq, kind) identity re-used
+        # later must start a new journey, and the first (unejected)
+        # instance must not leak its hops into the second.
+        tr = FlitTracer(capacity=64, sample=1.0)
+        tr.record(EV_INJECT, 0, 0, 0, 5, 0, 1, 0)
+        tr.record(EV_HOP, 1, 1, 0, 5, 0, 1, 1)
+        tr.record(EV_INJECT, 10, 0, 0, 7, 0, 1, 0)  # re-inject, same identity
+        tr.record(EV_HOP, 11, 1, 0, 7, 0, 1, 1)
+        tr.record(EV_EJECT, 12, 7, 0, 7, 0, 1, 2)
+        trips = tr.journeys()
+        assert len(trips) == 1
+        assert trips[0]["dest"] == 7
+        assert trips[0]["hops"] == 1
+        assert trips[0]["inject_cycle"] == 10
+
+    def test_journeys_orphan_events_before_inject_are_dropped(self):
+        tr = FlitTracer(capacity=64, sample=1.0)
+        three = np.array([3])
+        tr.record(EV_HOP, 0, 1, three, 5, 0, 1, 1)  # no inject held (wrapped)
+        tr.record(EV_EJECT, 1, 5, three, 5, 0, 1, 2)
+        assert tr.journeys() == []
+
+    def test_journeys_matches_reference_loop_randomized(self):
+        # Equivalence: the vectorized stable-argsort implementation must
+        # reproduce the event-by-event loop exactly, including identity
+        # reuse, orphans from ring wrap-around, deflections, and limits.
+        rng = np.random.default_rng(1234)
+        for capacity in (64, 256, 4096):
+            tr = FlitTracer(capacity=capacity, sample=1.0)
+            for cycle in range(400):
+                count = int(rng.integers(1, 6))
+                src = rng.integers(0, 8, size=count)
+                seq = rng.integers(0, 4, size=count)  # heavy identity reuse
+                kind = rng.integers(0, 2, size=count)
+                dest = rng.integers(0, 16, size=count)
+                event = int(rng.integers(0, 4))
+                tr.record(event, cycle, src, src, dest, kind, seq, 0)
+            for limit in (1, 5, 10, 10_000):
+                assert tr.journeys(limit) == tr._journeys_loop(limit)
+
+    def test_journeys_matches_reference_loop_real_run(self):
+        sim, _ = run(cycles=1500, trace=True, trace_sample=1.0)
+        tracer = sim.tracer
+        assert tracer is not None and len(tracer) > 0
+        assert tracer.journeys(50) == tracer._journeys_loop(50)
+
     def test_summary_mentions_every_event_kind(self):
         tr = FlitTracer(capacity=16, sample=1.0)
         tr.record(EV_INJECT, 0, 0, 0, 1, 0, 1, 0)
@@ -171,6 +218,7 @@ class TestPerfCounters:
         assert perf.phase_shares()["network"] == pytest.approx(0.75)
 
 
+@pytest.mark.slow
 class TestSimulatorIntegration:
     def test_default_run_attaches_no_perf(self):
         _, res = run()

@@ -2,6 +2,7 @@
 network invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -190,6 +191,7 @@ def test_throttle_gate_boundary_rates_pinned():
     eject_width=st.integers(1, 2),
 )
 @_slow
+@pytest.mark.slow
 def test_bless_conserves_and_delivers_everything(seed, load, eject_width):
     rng = np.random.default_rng(seed)
     net = BlessNetwork(Mesh2D(4), eject_width=eject_width)
@@ -213,6 +215,7 @@ def test_bless_conserves_and_delivers_everything(seed, load, eject_width):
 
 @given(seed=st.integers(0, 10_000), load=st.floats(0.05, 0.8))
 @_slow
+@pytest.mark.slow
 def test_buffered_conserves_and_delivers_everything(seed, load):
     rng = np.random.default_rng(seed)
     net = BufferedNetwork(Mesh2D(4), buffer_capacity=4)
@@ -233,6 +236,7 @@ def test_buffered_conserves_and_delivers_everything(seed, load):
 
 @given(seed=st.integers(0, 10_000))
 @_slow
+@pytest.mark.slow
 def test_bless_age_invariant_oldest_never_deflected_forever(seed):
     """Livelock freedom: with Oldest-First the network always drains."""
     rng = np.random.default_rng(seed)

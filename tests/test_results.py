@@ -69,6 +69,52 @@ class TestSerialization:
     def test_percentile_rejects_out_of_range(self):
         with pytest.raises(ValueError):
             make_result([1.0], [True]).latency_percentile(101)
+        with pytest.raises(ValueError):
+            make_result([1.0], [True]).latency_percentile(-1)
+
+    def test_percentile_edge_cases_exact(self):
+        # Histogram with empty low buckets: 3 flits at latency 7,
+        # 5 at latency 12, 2 at latency 900.
+        res = make_result([1.0], [True])
+        hist = np.zeros(1024, dtype=np.int64)
+        hist[7] = 3
+        hist[12] = 5
+        hist[900] = 2
+        res.latency_hist = hist
+        # p=0 is the minimum observed latency, NOT (empty) bucket 0.
+        assert res.latency_percentile(0) == 7
+        # p=100 is the maximum occupied bucket, never past it.
+        assert res.latency_percentile(100) == 900
+        # nearest-rank interior points: ranks 1-3 -> 7, 4-8 -> 12.
+        assert res.latency_percentile(30) == 7  # rank 3
+        assert res.latency_percentile(50) == 12  # rank 5
+        assert res.latency_percentile(80) == 12  # rank 8
+        assert res.latency_percentile(95) == 900  # rank 9.5 -> bucket 900
+
+    def test_percentile_empty_histogram_is_zero(self):
+        res = make_result([1.0], [True])
+        res.latency_hist = np.zeros(1024, dtype=np.int64)
+        for p in (0, 50, 100):
+            assert res.latency_percentile(p) == 0
+
+    def test_percentile_single_flit_all_percentiles_agree(self):
+        res = make_result([1.0], [True])
+        hist = np.zeros(1024, dtype=np.int64)
+        hist[33] = 1
+        res.latency_hist = hist
+        for p in (0, 1, 50, 99, 100):
+            assert res.latency_percentile(p) == 33
+
+    def test_percentile_network_stats_duplicate_matches(self):
+        from repro.network.base import NetworkStats
+
+        stats = NetworkStats()
+        stats.init_arrays(4)
+        stats.record_latencies(np.array([7, 7, 7, 12, 12, 12, 12, 12, 900, 900]))
+        res = make_result([1.0], [True])
+        res.latency_hist = stats.latency_hist
+        for p in (0, 25, 50, 75, 95, 100):
+            assert stats.latency_percentile(p) == res.latency_percentile(p)
 
     def test_hand_built_roundtrip(self):
         res = make_result([1.0, 2.0], [True, False])

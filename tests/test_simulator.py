@@ -15,6 +15,10 @@ from repro import (
 )
 from repro.network.flit import FLIT_CONTROL
 
+# Full-simulation module: runs real multi-epoch simulations end to end.
+# Deselect with -m 'not slow' for a fast inner loop; CI runs everything.
+pytestmark = pytest.mark.slow
+
 
 def run(workload, cycles=3000, **kw):
     kw.setdefault("seed", 5)

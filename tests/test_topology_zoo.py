@@ -164,6 +164,7 @@ class TestZooGeometry:
         assert small.num_links == zoo.graph_mesh2d(3, 3).num_links
 
 
+@pytest.mark.slow
 class TestMeshEquivalence:
     """graph_mesh2d must be indistinguishable from Mesh2D."""
 

@@ -33,6 +33,7 @@ class TestGapTrace:
         assert trace.gaps[1].size == 0
 
 
+@pytest.mark.slow
 class TestTracedBehavior:
     def test_replays_in_order_and_loops(self):
         trace = GapTrace([np.array([3.0, 5.0, 7.0])])
