@@ -26,10 +26,13 @@ from repro.control import (
     ControlParams,
     Controller,
     DistributedController,
+    DomainMap,
     EpochView,
     FairCentralController,
+    HierarchicalController,
     MechanismHardwareCost,
     NoController,
+    ShardController,
     StaticThrottleController,
     mechanism_hardware_cost,
 )
@@ -100,6 +103,9 @@ __all__ = [
     "ControlParams",
     "DistributedController",
     "FairCentralController",
+    "DomainMap",
+    "ShardController",
+    "HierarchicalController",
     "MechanismHardwareCost",
     "mechanism_hardware_cost",
     "PowerModel",

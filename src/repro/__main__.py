@@ -35,19 +35,19 @@ import sys
 import numpy as np
 
 from repro import (
-    CentralController,
-    ControlParams,
-    DistributedController,
-    NoController,
     SimulationConfig,
     Simulator,
-    StaticThrottleController,
     WORKLOAD_CATEGORIES,
     make_category_workload,
     make_homogeneous_workload,
 )
+from repro.control.registry import (
+    CONTROLLER_NAMES,
+    CONTROLLERS,
+    build_cli_controller,
+)
 from repro.guardrails import FaultConfig, GuardrailError
-from repro.topology.registry import TOPOLOGY_NAMES
+from repro.topology.registry import TOPOLOGIES, TOPOLOGY_NAMES
 
 __all__ = ["main", "build_parser", "build_sweep_parser",
            "build_profile_parser", "build_chaos_parser", "chaos_main",
@@ -72,6 +72,10 @@ CLI_NON_CONFIG_DESTS = frozenset({
     "transient_faults",  # folded into FaultConfig -> faults
     "fault_seed",        # folded into FaultConfig -> faults
     "chaos_script",      # campaign JSON file -> ChaosConfig -> chaos
+    "controller_domains",  # folded into the hierarchical controller
+    "controller_mode",     # folded into the hierarchical controller
+    "list_controllers",  # registry listing, exits before any run
+    "list_topologies",   # registry listing, exits before any run
 })
 
 
@@ -118,11 +122,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--controller",
-        choices=("none", "central", "distributed", "static"),
+        choices=CONTROLLER_NAMES,
         default="none",
     )
     parser.add_argument("--static-rate", type=float, default=0.5,
                         help="rate for --controller static")
+    parser.add_argument(
+        "--controller-domains", type=int, default=0, metavar="N",
+        help="hierarchical controller: control-domain count "
+             "(0 = the topology's natural partition)",
+    )
+    parser.add_argument(
+        "--controller-mode", choices=("global", "local"), default="global",
+        help="hierarchical controller: throttle against the global mean "
+             "IPF or each domain's local mean",
+    )
+    parser.add_argument(
+        "--list-controllers", action="store_true",
+        help="print the controller registry table and exit",
+    )
+    parser.add_argument(
+        "--list-topologies", action="store_true",
+        help="print the topology registry table and exit",
+    )
     parser.add_argument("--locality", choices=("uniform", "exponential",
                                                "powerlaw"), default="uniform")
     parser.add_argument("--locality-param", type=float, default=1.0)
@@ -250,7 +272,7 @@ def build_chaos_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--epoch", type=int, default=2_000)
     parser.add_argument(
-        "--controller", choices=("none", "central", "static"),
+        "--controller", choices=("none", "central", "static", "hierarchical"),
         default="none",
     )
     parser.add_argument("--static-rate", type=float, default=0.5)
@@ -491,14 +513,33 @@ def sweep_main(argv=None) -> int:
     return 0
 
 
+def _list_controllers() -> None:
+    width = max(len(name) for name in CONTROLLERS)
+    rwidth = max(len(e.recipe) for e in CONTROLLERS.values())
+    print(f"{'controller':<{width}}  {'recipe':<{rwidth}}  description")
+    for entry in CONTROLLERS.values():
+        print(f"{entry.name:<{width}}  {entry.recipe:<{rwidth}}  "
+              f"{entry.description}")
+
+
+def _list_topologies() -> None:
+    width = max(len("topology"), *(len(name) for name in TOPOLOGIES))
+    print(f"{'topology':<{width}}  description")
+    for entry in TOPOLOGIES.values():
+        print(f"{entry.name:<{width}}  {entry.description}")
+
+
 def _build_controller(args, network):
-    if args.controller == "central":
-        return CentralController(ControlParams(epoch=args.epoch))
-    if args.controller == "distributed":
-        return DistributedController(network)
-    if args.controller == "static":
-        return StaticThrottleController(args.static_rate)
-    return NoController()
+    # The chaos parser's namespace lacks the hierarchical flags; fall
+    # back to their defaults there.
+    return build_cli_controller(
+        args.controller,
+        network,
+        epoch=args.epoch,
+        static_rate=args.static_rate,
+        domains=getattr(args, "controller_domains", 0),
+        mode=getattr(args, "controller_mode", "global"),
+    )
 
 
 def main(argv=None) -> int:
@@ -510,7 +551,18 @@ def main(argv=None) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    # ``run`` is an explicit alias for the default single-run command.
+    if argv and argv[0] == "run":
+        argv = argv[1:]
     args = build_parser().parse_args(argv)
+    if args.list_controllers or args.list_topologies:
+        if args.list_controllers:
+            _list_controllers()
+        if args.list_topologies:
+            if args.list_controllers:
+                print()
+            _list_topologies()
+        return 0
     if args.app:
         workload = make_homogeneous_workload(args.app, args.nodes)
     else:

@@ -93,6 +93,13 @@ class ChaosEngine:
         if isinstance(controller, ResilientController):
             self.resilient = controller
             return
+        if getattr(controller, "self_resilient", False):
+            # Hierarchical controllers carry their own fail-stop
+            # semantics (coordinator loss degrades to independent
+            # domains); drive fail()/restore() on them directly instead
+            # of wrapping.
+            self.resilient = controller
+            return
         if self.resilient is not None:
             return
         needs = any(
@@ -332,6 +339,13 @@ class ChaosEngine:
         alive = self.fm.alive_routers & ~self._draining
         self.fm.remap[:] = self.fm._build_remap(alive)
         self.sim.hub = int(self.fm.remap[self._hub_home])
+        if self.sim.domains is not None:
+            # Per-domain control hubs re-stripe the same way the global
+            # hub does: a fail-stopped hub's traffic moves to the
+            # nearest live router.
+            self.sim.domain_hubs = self.fm.remap[
+                self.sim._domain_hub_home
+            ].astype(np.int64)
 
     # ------------------------------------------------------------------
     # Recovery measurement + degraded accounting

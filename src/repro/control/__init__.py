@@ -2,7 +2,14 @@
 
 from repro.control.base import Controller, EpochView, NoController
 from repro.control.central import CentralController, ControlParams
+from repro.control.domains import DomainMap
 from repro.control.fairness import FairCentralController
+from repro.control.hierarchical import (
+    DomainSummary,
+    HierarchicalController,
+    ShardController,
+)
+from repro.control.registry import CONTROLLER_NAMES, CONTROLLERS, ControllerEntry
 from repro.control.static_throttle import StaticThrottleController
 from repro.control.distributed import DistributedController
 from repro.control.hardware import MechanismHardwareCost, mechanism_hardware_cost
@@ -16,6 +23,13 @@ __all__ = [
     "FairCentralController",
     "StaticThrottleController",
     "DistributedController",
+    "DomainMap",
+    "DomainSummary",
+    "ShardController",
+    "HierarchicalController",
+    "ControllerEntry",
+    "CONTROLLERS",
+    "CONTROLLER_NAMES",
     "MechanismHardwareCost",
     "mechanism_hardware_cost",
 ]

@@ -1,0 +1,239 @@
+"""Control-domain partitions for hierarchical congestion control.
+
+The paper's mechanism is centralized: every epoch all *n* nodes report
+(IPF, sigma) to one hub and receive one rate update back — 2n control
+flits through a single point (§6.6).  That is cheap at the paper's 64
+cores and a hot spot at thousands.  A :class:`DomainMap` partitions the
+nodes into control domains, each with its own hub (the domain's most
+central router), plus one global coordinator (the topology's central
+node).  Per-domain shard controllers then run Algorithm 1 locally and
+exchange only per-domain *summaries* with the coordinator, so control
+traffic scales as 2n intra-domain flits plus 2·(#domains) global flits
+instead of 2n flits into one queue.
+
+Partition shapes follow the topology (the registry wires one rule per
+layout, see :func:`repro.topology.registry.domain_map`):
+
+- 2D grids (mesh/torus/express) split into a ``tiles_x x tiles_y``
+  grid of rectangular clusters;
+- 3D grids split into layer bands along z;
+- chiplet layouts split along tile boundaries (one domain per chiplet
+  by default — the natural hardware domain).
+
+Hub placement is consistent with ``Topology.central_node()`` by
+construction: a closed-form grid cluster uses its center coordinate
+(``Mesh2D.central_node`` is exactly the whole-grid cluster's center),
+and a graph-described cluster uses the member with the minimal
+intra-member distance sum (``GraphTopology.central_node`` restricted to
+the domain).  A single domain spanning the whole fabric therefore
+reproduces the central controller's hub bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "DomainMap",
+    "grid_cluster_shape",
+    "grid2d_domains",
+    "grid3d_domains",
+    "graph_domain_hubs",
+]
+
+
+class DomainMap:
+    """An immutable node -> control-domain assignment.
+
+    Parameters
+    ----------
+    domain_of:
+        ``(num_nodes,)`` integer array; ``domain_of[i]`` is node *i*'s
+        domain id.  Ids must cover ``0..num_domains-1`` with no gaps.
+    hubs:
+        ``(num_domains,)`` node index of each domain's hub (must be a
+        member of its own domain).
+    coordinator:
+        The global coordinator's node (the topology's central node).
+    """
+
+    def __init__(self, domain_of, hubs, coordinator: int):
+        domain_of = np.ascontiguousarray(domain_of, dtype=np.int64)
+        hubs = np.ascontiguousarray(hubs, dtype=np.int64)
+        if domain_of.ndim != 1 or domain_of.size == 0:
+            raise ValueError("domain_of must be a non-empty 1-D array")
+        num_domains = hubs.size
+        if num_domains == 0:
+            raise ValueError("a DomainMap needs at least one domain")
+        if domain_of.min() != 0 or domain_of.max() != num_domains - 1:
+            raise ValueError(
+                f"domain ids must cover 0..{num_domains - 1} exactly "
+                f"(got [{domain_of.min()}, {domain_of.max()}])"
+            )
+        counts = np.bincount(domain_of, minlength=num_domains)
+        if (counts == 0).any():
+            empty = np.flatnonzero(counts == 0)
+            raise ValueError(f"empty control domain(s): {empty.tolist()}")
+        if not (0 <= coordinator < domain_of.size):
+            raise ValueError(f"coordinator {coordinator} out of range")
+        self.domain_of = domain_of
+        self.hubs = hubs
+        self.coordinator = int(coordinator)
+        self._members: Tuple[np.ndarray, ...] = tuple(
+            np.flatnonzero(domain_of == d) for d in range(num_domains)
+        )
+        if (hubs < 0).any() or (hubs >= domain_of.size).any():
+            raise ValueError(f"hub index out of range: {hubs.tolist()}")
+        for d, hub in enumerate(hubs):
+            if domain_of[hub] != d:
+                raise ValueError(
+                    f"hub {int(hub)} of domain {d} lies in domain "
+                    f"{int(domain_of[hub])}"
+                )
+        self.domain_of.setflags(write=False)
+        self.hubs.setflags(write=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.domain_of.size)
+
+    @property
+    def num_domains(self) -> int:
+        return int(self.hubs.size)
+
+    def members(self, domain: int) -> np.ndarray:
+        """Sorted node indices belonging to *domain*."""
+        return self._members[domain]
+
+    def describe(self) -> str:
+        sizes = np.bincount(self.domain_of, minlength=self.num_domains)
+        return (
+            f"DomainMap({self.num_domains} domains over "
+            f"{self.num_nodes} nodes, sizes "
+            f"{int(sizes.min())}..{int(sizes.max())}, "
+            f"coordinator {self.coordinator})"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+# ----------------------------------------------------------------------
+# Partition rules
+# ----------------------------------------------------------------------
+def _closest_divisor(n: int, target: int) -> int:
+    """The divisor of *n* nearest *target* (ties break low — fewer,
+    larger clusters)."""
+    divisors = [d for d in range(1, n + 1) if n % d == 0]
+    return min(divisors, key=lambda d: (abs(d - target), d))
+
+
+def grid_cluster_shape(
+    width: int, height: int, num_domains: int, multiple: int = 1
+) -> Tuple[int, int]:
+    """Pick the ``(tiles_x, tiles_y)`` cluster grid for a 2D layout.
+
+    ``num_domains == 0`` chooses automatically: along each axis, the
+    divisor closest to the square root of that axis (clusters of
+    roughly sqrt-side, e.g. 32x32 -> 4x4 domains of 8x8 nodes).  An
+    explicit ``num_domains`` is factored as ``tiles_x * tiles_y`` with
+    each factor dividing its axis, preferring the squarest clusters;
+    impossible counts raise ``ValueError``.  ``multiple`` constrains
+    cluster edges to multiples of it (chiplet layouts: domains must not
+    split a tile).
+    """
+    if multiple < 1 or width % multiple or height % multiple:
+        raise ValueError(
+            f"cluster multiple {multiple} must divide the "
+            f"{width}x{height} grid"
+        )
+    if num_domains == 0:
+        if multiple > 1:
+            # Auto on a tiled layout: one domain per hardware tile.
+            return width // multiple, height // multiple
+        tiles_x = _closest_divisor(width, int(round(width ** 0.5)) or 1)
+        tiles_y = _closest_divisor(height, int(round(height ** 0.5)) or 1)
+        return tiles_x, tiles_y
+    best = None
+    for tiles_x in range(1, num_domains + 1):
+        if num_domains % tiles_x:
+            continue
+        tiles_y = num_domains // tiles_x
+        if width % tiles_x or height % tiles_y:
+            continue
+        cw, ch = width // tiles_x, height // tiles_y
+        if cw % multiple or ch % multiple:
+            continue
+        squareness = abs(cw - ch)
+        if best is None or squareness < best[0]:
+            best = (squareness, tiles_x, tiles_y)
+    if best is None:
+        constraint = (
+            f" with tile-multiple-{multiple} clusters" if multiple > 1 else ""
+        )
+        raise ValueError(
+            f"cannot split a {width}x{height} grid into {num_domains} "
+            f"rectangular domains{constraint}; pick a count whose "
+            f"factors divide the grid"
+        )
+    return best[1], best[2]
+
+
+def grid2d_domains(
+    width: int, height: int, num_domains: int, multiple: int = 1
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-major ``(domain_of, hubs)`` for a 2D grid layout.
+
+    Hubs sit at each cluster's center coordinate — the same
+    ``(x0 + cw//2, y0 + ch//2)`` rule as ``Mesh2D.central_node()``, so
+    one whole-grid domain places its hub exactly where the central
+    controller would.
+    """
+    tiles_x, tiles_y = grid_cluster_shape(width, height, num_domains, multiple)
+    cw, ch = width // tiles_x, height // tiles_y
+    nodes = np.arange(width * height, dtype=np.int64)
+    x, y = nodes % width, nodes // width
+    domain_of = (y // ch) * tiles_x + (x // cw)
+    tiles = np.arange(tiles_x * tiles_y, dtype=np.int64)
+    tx, ty = tiles % tiles_x, tiles // tiles_x
+    hubs = (ty * ch + ch // 2) * width + tx * cw + cw // 2
+    return domain_of, hubs
+
+
+def grid3d_domains(
+    width: int, height: int, depth: int, num_domains: int
+) -> np.ndarray:
+    """``domain_of`` for a 3D grid split into z-layer bands.
+
+    ``num_domains == 0`` puts each layer in its own domain; an explicit
+    count must divide ``depth``.  Hubs are graph-derived (see
+    :func:`graph_domain_hubs`) since 3D layouts are graph topologies.
+    """
+    if num_domains == 0:
+        num_domains = depth
+    if depth % num_domains:
+        raise ValueError(
+            f"{num_domains} domains must divide the {depth}-layer stack "
+            f"(one band of layers each)"
+        )
+    band = depth // num_domains
+    nodes = np.arange(width * height * depth, dtype=np.int64)
+    return (nodes // (width * height)) // band
+
+
+def graph_domain_hubs(topology, domain_of: np.ndarray) -> np.ndarray:
+    """Per-domain hubs on a graph topology: the member minimizing the
+    distance sum to its co-members (lowest id on ties) — the
+    ``GraphTopology.central_node()`` rule restricted to each domain, so
+    a whole-graph domain reproduces the global hub exactly."""
+    num_domains = int(domain_of.max()) + 1
+    hubs = np.zeros(num_domains, dtype=np.int64)
+    for d in range(num_domains):
+        members = np.flatnonzero(domain_of == d)
+        intra = topology.distance(
+            members[:, None], members[None, :]
+        ).sum(axis=1, dtype=np.int64)
+        hubs[d] = members[int(np.argmin(intra))]
+    return hubs

@@ -1,0 +1,271 @@
+"""Hierarchical congestion control: domain shards + a coordinator.
+
+The paper's Algorithm 1 is centralized — one controller sees every
+node's (IPF, sigma) each epoch.  At thousands of cores the 2n control
+flits per epoch converge on one hub queue and overflow (measured in
+``benchmarks/bench_control_scaling.py``).  The hierarchical scheme
+keeps the *decision rule* of §5 but distributes the *collection*:
+
+- each control domain (see :mod:`repro.control.domains`) runs a
+  :class:`ShardController` — Algorithm 1 on the domain-local
+  :class:`~repro.control.base.EpochView` slice;
+- shards produce a :class:`DomainSummary` (congested?, sum of capped
+  IPF over active members, active-member count) — the only state that
+  crosses domain boundaries;
+- the :class:`HierarchicalController` coordinator aggregates the
+  summaries and reconciles throttling under one of two criteria:
+
+  ``global``
+      the paper's criterion computed exactly: throttling activates when
+      *any* domain is congested, and node *i* throttles iff
+      ``IPF_i < mean(IPF over all active nodes)``.  The global mean is
+      reassembled from the shard sums (``sum/count`` is bitwise what
+      ``ndarray.mean`` computes), so one domain spanning the whole
+      fabric is bit-identical to :class:`CentralController`.
+  ``local``
+      each domain decides independently with its own mean — no global
+      state at all, the fully decentralized limit.
+
+Coordinator fail-stop (chaos ``controller_down`` events) degrades
+``global`` mode to independent domains: shards keep running on local
+criteria while the summary exchange is suspended, and ``restore()``
+resumes global reconciliation.  The controller is *self-resilient* —
+the chaos engine drives :meth:`fail`/:meth:`restore` directly instead
+of wrapping it in a
+:class:`~repro.chaos.controlplane.ResilientController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.base import Controller, EpochView
+from repro.control.central import CentralController, ControlParams
+from repro.control.domains import DomainMap
+
+__all__ = ["DomainSummary", "ShardController", "HierarchicalController"]
+
+_MODES = ("global", "local")
+
+
+@dataclass(frozen=True)
+class DomainSummary:
+    """What one shard tells the coordinator each epoch (one flit each
+    way in the modeled control traffic)."""
+
+    congested: bool
+    #: sum of min(IPF, ipf_cap) over the domain's active nodes
+    ipf_sum: float
+    active_nodes: int
+
+
+class ShardController(CentralController):
+    """Algorithm 1 confined to one control domain.
+
+    Splits :meth:`CentralController.on_epoch` into the measurement half
+    (:meth:`summarize` — what ships to the coordinator) and the
+    actuation half (:meth:`throttle` — applied once the coordinator
+    hands back the reconciled congestion flag and mean IPF).  Both
+    reuse the parent's Eq. (1)/(2) helpers unchanged.
+    """
+
+    def __init__(self, params: ControlParams, domain: int):
+        super().__init__(params)
+        self.domain = domain
+
+    def summarize(self, view: EpochView) -> DomainSummary:
+        """Measure this domain: congestion flag + mean-IPF ingredients."""
+        active = view.active
+        if not active.any():
+            return DomainSummary(False, 0.0, 0)
+        p = self.params
+        ipf = np.minimum(view.ipf, p.ipf_cap)
+        congested = bool(
+            np.any(
+                view.starvation_rate[active]
+                > self.starvation_threshold(ipf[active])
+            )
+        )
+        return DomainSummary(congested, float(ipf[active].sum()), int(active.sum()))
+
+    def throttle(
+        self, view: EpochView, congested: bool, mean_ipf
+    ) -> np.ndarray:
+        """Install the coordinator's decision on this domain's nodes."""
+        p = self.params
+        rates = np.zeros(view.active.shape[0])
+        active = view.active
+        self.last_congested = congested
+        throttled = np.zeros_like(active)
+        if congested and mean_ipf is not None and active.any():
+            ipf = np.minimum(view.ipf, p.ipf_cap)
+            throttled = active & (ipf < mean_ipf)
+            rates[throttled] = self.throttle_rate(ipf[throttled])
+        self.last_throttled = throttled
+        return rates
+
+    def describe(self) -> str:
+        return f"ShardController(domain={self.domain}, {self.params})"
+
+
+class HierarchicalController(Controller):
+    """Coordinator over per-domain Algorithm-1 shards."""
+
+    #: The simulator resolves a DomainMap from the topology registry and
+    #: calls :meth:`bind` before the first epoch.
+    wants_domains = True
+    #: The chaos engine drives fail()/restore() on this controller
+    #: directly instead of wrapping it in a ResilientController.
+    self_resilient = True
+
+    def __init__(
+        self,
+        params: ControlParams = ControlParams(),
+        num_domains: int = 0,
+        mode: str = "global",
+    ):
+        if mode not in _MODES:
+            raise ValueError(
+                f"unknown coordination mode {mode!r}; expected one of {_MODES}"
+            )
+        if num_domains < 0:
+            raise ValueError(f"num_domains must be >= 0, got {num_domains}")
+        self.params = params
+        #: requested domain count (0 = let the topology choose)
+        self.num_domains = num_domains
+        self.mode = mode
+        self.domain_map = None  # a DomainMap once bind() runs
+        self.shards = ()
+        # Coordinator fail-stop state (chaos controller_down events).
+        self.coordinator_down = False
+        self.downtime_epochs = 0
+        self.failovers = 0
+        self.epochs_run = 0
+        self.domain_epochs = None
+        # Exposed for inspection/tests after each epoch, like the
+        # central controller.
+        self.last_congested = False
+        self.last_throttled = None
+
+    # ------------------------------------------------------------------
+    # Domain binding (done by the simulator at run() time)
+    # ------------------------------------------------------------------
+    def bind(self, domain_map: DomainMap) -> None:
+        """Attach a resolved partition and build one shard per domain."""
+        if (
+            self.num_domains
+            and domain_map.num_domains != self.num_domains
+        ):
+            raise ValueError(
+                f"domain map has {domain_map.num_domains} domains; "
+                f"controller was configured for {self.num_domains}"
+            )
+        self.domain_map = domain_map
+        self.shards = tuple(
+            ShardController(self.params, d)
+            for d in range(domain_map.num_domains)
+        )
+        self.domain_epochs = np.zeros(domain_map.num_domains, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Fail-stop interface (the ResilientController contract)
+    # ------------------------------------------------------------------
+    @property
+    def down(self) -> bool:
+        """Coordinator availability; shards never fail with it."""
+        return self.coordinator_down
+
+    def fail(self) -> None:
+        if self.coordinator_down:
+            return
+        self.coordinator_down = True
+        # Losing the coordinator is a failover to independent domains.
+        self.failovers += 1
+
+    def restore(self) -> None:
+        self.coordinator_down = False
+
+    # ------------------------------------------------------------------
+    # Controller interface
+    # ------------------------------------------------------------------
+    def on_epoch(self, view: EpochView) -> np.ndarray:
+        if self.domain_map is None:
+            raise RuntimeError(
+                "HierarchicalController.on_epoch before bind(); the "
+                "simulator binds a DomainMap at run() — standalone use "
+                "must call bind(domain_map) first"
+            )
+        dm = self.domain_map
+        n = view.active.shape[0]
+        if n != dm.num_nodes:
+            raise ValueError(
+                f"EpochView covers {n} nodes; domain map covers "
+                f"{dm.num_nodes}"
+            )
+        views = [self._slice(view, dm.members(d)) for d in range(dm.num_domains)]
+        summaries = [
+            shard.summarize(v) for shard, v in zip(self.shards, views)
+        ]
+        use_global = self.mode == "global" and not self.coordinator_down
+        if self.coordinator_down:
+            self.downtime_epochs += 1
+        mean_ipf = None
+        congested_any = any(s.congested for s in summaries)
+        if use_global and congested_any:
+            total = sum(s.ipf_sum for s in summaries)
+            count = sum(s.active_nodes for s in summaries)
+            # Reassembling mean(IPF[active]) from the shard sums: numpy's
+            # ndarray.mean() is sum()/size, so with one domain this is
+            # bit-identical to the central controller's mean.
+            mean_ipf = total / count if count else None
+        rates = np.zeros(n)
+        throttled = np.zeros(n, dtype=bool)
+        for shard, v, summary in zip(self.shards, views, summaries):
+            if use_global:
+                congested, mean_d = congested_any, mean_ipf
+            else:
+                congested = summary.congested
+                mean_d = (
+                    summary.ipf_sum / summary.active_nodes
+                    if congested and summary.active_nodes
+                    else None
+                )
+            members = dm.members(shard.domain)
+            rates[members] = shard.throttle(v, congested, mean_d)
+            throttled[members] = shard.last_throttled
+        self.domain_epochs += 1
+        self.epochs_run += 1
+        self.last_congested = (
+            congested_any if use_global
+            else any(s.congested for s in summaries)
+        )
+        self.last_throttled = throttled
+        return rates
+
+    @staticmethod
+    def _slice(view: EpochView, members: np.ndarray) -> EpochView:
+        """A domain-local EpochView (fancy-indexed copies of the
+        per-node arrays; scalars pass through)."""
+        return EpochView(
+            cycle=view.cycle,
+            ipf=view.ipf[members],
+            starvation_rate=view.starvation_rate[members],
+            active=view.active[members],
+            utilization=view.utilization,
+            epoch_ipc=(
+                view.epoch_ipc[members] if view.epoch_ipc is not None else None
+            ),
+        )
+
+    def describe(self) -> str:
+        domains = (
+            self.domain_map.num_domains
+            if self.domain_map is not None
+            else self.num_domains or "auto"
+        )
+        return (
+            f"HierarchicalController({domains} domains, mode={self.mode}, "
+            f"{self.params})"
+        )

@@ -1,0 +1,109 @@
+"""The controller registry: name -> description + construction.
+
+Mirrors :mod:`repro.topology.registry` for the control plane: one table
+the CLI (``--controller`` choices, ``--list-controllers``), the README
+and the harness recipe docs all consult, so adding a scheme is one
+:class:`ControllerEntry` instead of three drifting if-ladders.
+
+The ``recipe`` column is the declarative :class:`~repro.harness.JobSpec`
+form (instantiated inside workers by
+:func:`repro.harness.jobs.build_controller`); ``—`` marks CLI-only
+controllers that need the live network object and therefore cannot ride
+through the spec's JSON-scalar contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ControllerEntry",
+    "CONTROLLERS",
+    "CONTROLLER_NAMES",
+    "build_cli_controller",
+]
+
+
+@dataclass(frozen=True)
+class ControllerEntry:
+    """One selectable congestion-control scheme."""
+
+    name: str
+    #: one-line description (README table, ``--list-controllers``)
+    description: str
+    #: declarative JobSpec recipe form ("—" = CLI-only, needs live state)
+    recipe: str
+
+
+_ENTRIES = (
+    ControllerEntry(
+        "none",
+        "no congestion control (baseline BLESS/buffered operation)",
+        '("none",)',
+    ),
+    ControllerEntry(
+        "central",
+        "the paper's Algorithm 1: one global controller and hub (§5)",
+        '("central",)',
+    ),
+    ControllerEntry(
+        "distributed",
+        "per-node AIMD on in-network congestion bits (§6.6)",
+        "—",
+    ),
+    ControllerEntry(
+        "static",
+        "fixed throttle rate on every node (ablation baseline)",
+        '("static", rate)',
+    ),
+    ControllerEntry(
+        "hierarchical",
+        "per-domain Algorithm-1 shards + global coordinator "
+        "(--controller-domains/--controller-mode)",
+        '("hierarchical", domains, mode)',
+    ),
+)
+
+#: Registry table; insertion order is the canonical CLI/choices order.
+CONTROLLERS = {entry.name: entry for entry in _ENTRIES}
+
+#: Canonical name tuple for CLI ``choices`` and error messages.
+CONTROLLER_NAMES = tuple(entry.name for entry in _ENTRIES)
+
+
+def build_cli_controller(
+    name: str,
+    network,
+    *,
+    epoch: int,
+    static_rate: float = 0.5,
+    domains: int = 0,
+    mode: str = "global",
+):
+    """Instantiate the controller a CLI invocation names.
+
+    ``network`` is the live network object (the distributed scheme
+    instruments it); the rest are the CLI flags that parameterize each
+    scheme.
+    """
+    from repro.control.base import NoController
+    from repro.control.central import CentralController, ControlParams
+    from repro.control.distributed import DistributedController
+    from repro.control.hierarchical import HierarchicalController
+    from repro.control.static_throttle import StaticThrottleController
+
+    if name == "central":
+        return CentralController(ControlParams(epoch=epoch))
+    if name == "distributed":
+        return DistributedController(network)
+    if name == "static":
+        return StaticThrottleController(static_rate)
+    if name == "hierarchical":
+        return HierarchicalController(
+            ControlParams(epoch=epoch), num_domains=domains, mode=mode
+        )
+    if name == "none":
+        return NoController()
+    raise ValueError(
+        f"unknown controller {name!r}; expected one of {CONTROLLER_NAMES}"
+    )

@@ -29,6 +29,10 @@ Checked invariants:
 ``queue_bounds``
     NI packet queues and (buffered network) input buffers respect their
     capacity, head-pointer, and credit bookkeeping bounds.
+``control_conservation``
+    every modeled control flit is accounted: attempted == sent +
+    dropped (a hub-queue overflow is a *counted* drop, never a silent
+    loss).
 """
 
 from __future__ import annotations
@@ -70,6 +74,7 @@ class InvariantChecker:
         if buffers is not None:
             self._check_buffers(cycle, net, buffers)
         self._check_conservation(cycle, net)
+        self._check_control(cycle, net)
         self._check_eject_width(cycle, ejected)
         self._check_flights(cycle, net)
         self.checks_run += 1
@@ -97,6 +102,24 @@ class InvariantChecker:
             self._fail(
                 "conservation", cycle,
                 f"ejected={ejected} exceeds injected={injected}",
+            )
+
+    def _check_control(self, cycle, net) -> None:
+        """Control-flit conservation: attempted == sent + dropped."""
+        stats = net.stats
+        attempted = stats.control_flits_attempted
+        sent = stats.control_flits_sent
+        dropped = stats.control_flits_dropped
+        if sent < 0 or dropped < 0 or sent + dropped != attempted:
+            self._fail(
+                "control_conservation",
+                cycle,
+                f"control flits attempted={attempted} != sent={sent} + "
+                f"dropped={dropped} (delta "
+                f"{attempted - sent - dropped:+d})",
+                control_attempted=attempted,
+                control_sent=sent,
+                control_dropped=dropped,
             )
 
     def _check_eject_width(self, cycle, ejected: EjectedFlits) -> None:

@@ -35,7 +35,11 @@ from repro.traffic.workloads import Workload
 __all__ = ["JobSpec", "run_job", "CONTROLLER_KINDS"]
 
 #: Controller recipes :func:`build_controller` understands.
-CONTROLLER_KINDS = ("none", "central", "static")
+CONTROLLER_KINDS = ("none", "central", "static", "hierarchical")
+
+#: Coordination modes a ``("hierarchical", domains, mode)`` recipe may
+#: name (see :class:`repro.control.hierarchical.HierarchicalController`).
+_HIERARCHICAL_MODES = ("global", "local")
 
 #: Config values a spec may carry: JSON scalars only, so hashing and the
 #: on-disk cache stay canonical.
@@ -61,7 +65,10 @@ class JobSpec:
     seed: int = 1
     epoch: int = 1000
     #: controller recipe: ``("none",)``, ``("central",)`` (the paper's
-    #: mechanism at this spec's epoch), or ``("static", rate)``
+    #: mechanism at this spec's epoch), ``("static", rate)``, or
+    #: ``("hierarchical"[, domains[, mode]])`` — domain count (0 = the
+    #: topology's natural partition) and coordination mode
+    #: ("global"/"local")
     controller: Tuple = ("none",)
     network: str = "bless"
     topology: str = "mesh"
@@ -88,6 +95,27 @@ class JobSpec:
                 f"unknown controller kind {self.controller[0]!r}; "
                 f"expected one of {CONTROLLER_KINDS}"
             )
+        if self.controller[0] == "hierarchical":
+            extras = self.controller[1:]
+            if len(extras) > 2:
+                raise ValueError(
+                    f"hierarchical recipe takes at most (domains, mode), "
+                    f"got {self.controller!r}"
+                )
+            if extras and (
+                isinstance(extras[0], bool)
+                or not isinstance(extras[0], int)
+                or extras[0] < 0
+            ):
+                raise ValueError(
+                    f"hierarchical domain count must be an int >= 0 "
+                    f"(0 = topology default), got {extras[0]!r}"
+                )
+            if len(extras) == 2 and extras[1] not in _HIERARCHICAL_MODES:
+                raise ValueError(
+                    f"hierarchical mode must be one of "
+                    f"{_HIERARCHICAL_MODES}, got {extras[1]!r}"
+                )
         for name, value in self.config:
             _check_scalar(name, value)
         if self.chaos is not None and not isinstance(self.chaos, str):
@@ -215,6 +243,18 @@ def build_controller(spec: JobSpec):
         return CentralController(ControlParams(epoch=spec.epoch))
     if kind == "static":
         return StaticThrottleController(float(spec.controller[1]))
+    if kind == "hierarchical":
+        from repro.control.hierarchical import HierarchicalController
+
+        num_domains = (
+            int(spec.controller[1]) if len(spec.controller) > 1 else 0
+        )
+        mode = str(spec.controller[2]) if len(spec.controller) > 2 else "global"
+        return HierarchicalController(
+            ControlParams(epoch=spec.epoch),
+            num_domains=num_domains,
+            mode=mode,
+        )
     raise ValueError(f"unknown controller kind {kind!r}")
 
 

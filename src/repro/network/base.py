@@ -53,6 +53,14 @@ class NetworkStats:
     latency_count: int = 0
     latency_max: int = 0
     hops_sum: int = 0
+    #: modeled control-plane flits (§6.6): every epoch the simulator
+    #: attempts 2 flits per active node (report + rate update, per-hub
+    #: with control domains).  A full hub queue rejects the overflow —
+    #: those flits are *dropped*, not silently forgotten, and
+    #: attempted == sent + dropped is an invariant-checker assertion.
+    control_flits_attempted: int = 0
+    control_flits_sent: int = 0
+    control_flits_dropped: int = 0
     injected_per_node: Optional[np.ndarray] = field(default=None)
     starved_cycles: Optional[np.ndarray] = field(default=None)
     port_starved_cycles: Optional[np.ndarray] = field(default=None)

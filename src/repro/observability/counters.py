@@ -13,7 +13,7 @@ a process pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 __all__ = ["PerfCounters"]
 
@@ -32,6 +32,16 @@ class PerfCounters:
     trace_dropped: int = 0
     #: chaos campaign events applied during the run (0 when chaos off)
     chaos_events: int = 0
+    #: modeled control-plane flits accepted/overflowed (0 unless
+    #: model_control_traffic was on)
+    control_flits_sent: int = 0
+    control_flits_dropped: int = 0
+    #: control-plane layout: domain count (0 = single-hub central) and
+    #: epochs the controller ran
+    control_domains: int = 0
+    control_epochs: int = 0
+    #: per-domain control flits delivered (empty without domains)
+    per_domain_control_flits: List[int] = field(default_factory=list)
 
     @property
     def cycles_per_sec(self) -> float:
@@ -69,6 +79,13 @@ class PerfCounters:
             "trace_events": int(self.trace_events),
             "trace_dropped": int(self.trace_dropped),
             "chaos_events": int(self.chaos_events),
+            "control_flits_sent": int(self.control_flits_sent),
+            "control_flits_dropped": int(self.control_flits_dropped),
+            "control_domains": int(self.control_domains),
+            "control_epochs": int(self.control_epochs),
+            "per_domain_control_flits": [
+                int(x) for x in self.per_domain_control_flits
+            ],
         }
 
     @classmethod
@@ -82,6 +99,13 @@ class PerfCounters:
             trace_events=data["trace_events"],
             trace_dropped=data["trace_dropped"],
             chaos_events=data.get("chaos_events", 0),
+            control_flits_sent=data.get("control_flits_sent", 0),
+            control_flits_dropped=data.get("control_flits_dropped", 0),
+            control_domains=data.get("control_domains", 0),
+            control_epochs=data.get("control_epochs", 0),
+            per_domain_control_flits=list(
+                data.get("per_domain_control_flits", ())
+            ),
         )
 
     def table(self) -> str:
@@ -102,5 +126,16 @@ class PerfCounters:
             lines.append(
                 f"trace: {self.trace_events} events "
                 f"({self.trace_dropped} dropped)"
+            )
+        if self.control_flits_sent or self.control_flits_dropped:
+            layout = (
+                f"{self.control_domains} domains"
+                if self.control_domains
+                else "single hub"
+            )
+            lines.append(
+                f"control: {self.control_flits_sent} flits sent, "
+                f"{self.control_flits_dropped} dropped over "
+                f"{self.control_epochs} epochs ({layout})"
             )
         return "\n".join(lines)

@@ -189,6 +189,15 @@ class Simulator:
             # A fail-stopped hub moves to the nearest live router.
             self.hub = int(self.fault_model.remap[self.hub])
         self.control_flits_sent = 0
+        # Hierarchical control plane (repro.control.hierarchical): a
+        # DomainMap plus per-domain hubs, resolved at run() time because
+        # the CLI installs its controller after construction.  None for
+        # single-hub controllers — the classic 2n-flits-to-one-point
+        # control traffic path.
+        self.domains = None
+        self.domain_hubs = None
+        self._domain_hub_home = None
+        self.domain_control_flits = None
         # Chaos campaign engine (mid-run fault/recovery events); built
         # last so it can observe the fully wired system.
         self.chaos = ChaosEngine(self, config.chaos) if chaos_on else None
@@ -344,6 +353,7 @@ class Simulator:
             # May swap self.controller for a fail-stop wrapper, so it
             # must precede the observes_ejections capture below.
             self.chaos.prepare()
+        self._bind_control_domains()
         self._observe = self.controller.observes_ejections
         self.pipeline.set_period("epoch", epoch)
         cycle_fns, periodic = self.pipeline.compiled(self.phase_timer)
@@ -370,6 +380,45 @@ class Simulator:
         return self.result()
 
     # ------------------------------------------------------------------
+    def _bind_control_domains(self) -> None:
+        """Resolve the controller's control-domain partition, if any.
+
+        Runs at the top of :meth:`run` — after the CLI/harness installed
+        its final controller and after a chaos campaign wrapped it — so
+        a domain-seeking controller (``wants_domains``) gets a
+        :class:`~repro.control.domains.DomainMap` derived from the
+        topology registry, and the simulator mirrors its hubs for the
+        control-traffic model.  Idempotent across resumed runs.
+        """
+        controller = self.controller
+        # A ResilientController wrapper delegates epochs to its primary.
+        primary = getattr(controller, "primary", controller)
+        if not getattr(primary, "wants_domains", False):
+            self.domains = None
+            self.domain_hubs = None
+            self._domain_hub_home = None
+            self.domain_control_flits = None
+            return
+        if primary.domain_map is None:
+            from repro.topology.registry import domain_map
+
+            primary.bind(
+                domain_map(self.config, self.topology, primary.num_domains)
+            )
+        if self.domains is not primary.domain_map:
+            self.domains = primary.domain_map
+            self._domain_hub_home = self.domains.hubs.copy()
+            self.domain_control_flits = np.zeros(
+                self.domains.num_domains, dtype=np.int64
+            )
+        self.domain_hubs = self._domain_hub_home.copy()
+        if self.fault_model is not None:
+            # Fail-stopped hubs move to their nearest live routers.
+            self.domain_hubs = self.fault_model.remap[
+                self._domain_hub_home
+            ].astype(np.int64)
+
+    # ------------------------------------------------------------------
     def _run_epoch(self) -> None:
         """One controller period: measure, decide, install rates."""
         hops = self.network.stats.flit_hops
@@ -388,11 +437,15 @@ class Simulator:
         )
         rates = self.controller.on_epoch(view)
         self.network.set_throttle_rates(rates)
-        if self.config.model_control_traffic and not getattr(
-            self.controller, "down", False
+        if self.config.model_control_traffic and (
+            self.domains is not None
+            or not getattr(self.controller, "down", False)
         ):
-            # A fail-stopped central coordinator exchanges no control
-            # packets until it (or its standby) comes back.
+            # A fail-stopped *central* coordinator exchanges no control
+            # packets until it (or its standby) comes back.  With
+            # control domains, only the hub<->coordinator summary
+            # exchange pauses — intra-domain reporting continues
+            # (handled inside the injection path).
             self._inject_control_traffic()
         self.epochs.append(
             self.cycle,
@@ -418,23 +471,89 @@ class Simulator:
         throttled); queue overflow defers a report to the next epoch,
         which only delays — never breaks — coordination.
         """
+        if self.domains is not None:
+            self._inject_domain_control_traffic()
+            return
         net = self.network
+        stats = net.stats
         nodes = np.flatnonzero(self.cores.active)
         nodes = nodes[nodes != self.hub]
+        sent = 0
         if nodes.size:
             hub_dest = np.full(nodes.size, self.hub, dtype=np.int64)
             ok = net.response_queue.push(
                 nodes, hub_dest, FLIT_CONTROL, 1, stamp=self.cycle
             )
-            self.control_flits_sent += int(ok.sum())
+            sent += int(ok.sum())
             # Hub -> node updates: a burst into the hub's queue bounded
             # by its remaining space.  All entries target the same queue,
             # so "stop at the first overflow" is exactly "accept the
             # first free-space-many" — one vectorized push instead of
             # ~n single-entry pushes per epoch.
-            self.control_flits_sent += net.response_queue.push_burst(
+            sent += net.response_queue.push_burst(
                 self.hub, nodes, FLIT_CONTROL, 1, stamp=self.cycle
             )
+        self.control_flits_sent += sent
+        stats.control_flits_attempted += 2 * nodes.size
+        stats.control_flits_sent += sent
+        stats.control_flits_dropped += 2 * nodes.size - sent
+
+    def _inject_domain_control_traffic(self) -> None:
+        """Hierarchical control traffic: 2 flits per node *within its
+        domain* plus 2 flits per remote domain hub to/from the global
+        coordinator — 2n intra-domain + 2·(#domains) global instead of
+        2n through one queue.
+
+        A fail-stopped coordinator suspends only the summary exchange;
+        the domains keep reporting to their own hubs (they coordinate
+        locally while degraded).
+        """
+        net = self.network
+        stats = net.stats
+        dm = self.domains
+        hubs = self.domain_hubs
+        active = np.flatnonzero(self.cores.active)
+        active_domain = dm.domain_of[active]
+        attempted = 0
+        total_sent = 0
+        for d in range(dm.num_domains):
+            hub = int(hubs[d])
+            members = active[active_domain == d]
+            members = members[members != hub]
+            attempted += 2 * members.size
+            if members.size == 0:
+                continue
+            hub_dest = np.full(members.size, hub, dtype=np.int64)
+            sent = int(net.response_queue.push(
+                members, hub_dest, FLIT_CONTROL, 1, stamp=self.cycle
+            ).sum())
+            sent += net.response_queue.push_burst(
+                hub, members, FLIT_CONTROL, 1, stamp=self.cycle
+            )
+            self.domain_control_flits[d] += sent
+            total_sent += sent
+        if not getattr(self.controller, "down", False):
+            # Hub -> coordinator domain summaries and coordinator -> hub
+            # reconciliation broadcasts.  Hubs can collide after fault
+            # remapping; np.unique keeps push()'s unique-node contract
+            # (and drops the coordinator's self-send, so one whole-mesh
+            # domain exchanges nothing here — exactly the central path).
+            coordinator = self.hub
+            remote = np.unique(hubs[hubs != coordinator])
+            attempted += 2 * remote.size
+            if remote.size:
+                co_dest = np.full(remote.size, coordinator, dtype=np.int64)
+                sent = int(net.response_queue.push(
+                    remote, co_dest, FLIT_CONTROL, 1, stamp=self.cycle
+                ).sum())
+                sent += net.response_queue.push_burst(
+                    coordinator, remote, FLIT_CONTROL, 1, stamp=self.cycle
+                )
+                total_sent += sent
+        self.control_flits_sent += total_sent
+        stats.control_flits_attempted += attempted
+        stats.control_flits_sent += total_sent
+        stats.control_flits_dropped += attempted - total_sent
 
     # ------------------------------------------------------------------
     def result(self) -> SimulationResult:
@@ -499,6 +618,17 @@ class Simulator:
                 trace_events=self.tracer.recorded if self.tracer else 0,
                 trace_dropped=self.tracer.dropped if self.tracer else 0,
                 chaos_events=len(chaos.applied_events) if chaos else 0,
+                control_flits_sent=stats.control_flits_sent,
+                control_flits_dropped=stats.control_flits_dropped,
+                control_domains=(
+                    self.domains.num_domains if self.domains is not None else 0
+                ),
+                control_epochs=len(self.epochs),
+                per_domain_control_flits=(
+                    [int(x) for x in self.domain_control_flits]
+                    if self.domain_control_flits is not None
+                    else []
+                ),
             )
         return SimulationResult(
             cycles=self.cycle,

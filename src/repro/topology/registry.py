@@ -15,6 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.control.domains import (
+    DomainMap,
+    graph_domain_hubs,
+    grid2d_domains,
+    grid3d_domains,
+)
 from repro.topology import zoo
 from repro.topology.mesh import Mesh2D
 from repro.topology.torus import Torus2D
@@ -25,6 +31,7 @@ __all__ = [
     "TOPOLOGY_NAMES",
     "prepare_config",
     "build_topology",
+    "domain_map",
 ]
 
 
@@ -40,6 +47,11 @@ class TopologyEntry:
     prepare: Callable
     #: builder: prepared config -> topology instance
     build: Callable
+    #: control-domain partition hook: ``(config, topology, num_domains)
+    #: -> DomainMap`` with this layout's natural clustering (grid
+    #: clusters, 3D layer bands, chiplet tiles); ``num_domains == 0``
+    #: picks the layout's default count
+    domains: Callable = None
 
 
 def _prepare_grid2d(config) -> None:
@@ -125,26 +137,67 @@ def _prepare_express(config) -> None:
         )
 
 
+def _domains_grid2d(config, topology, num_domains: int) -> DomainMap:
+    """Rectangular k x k clusters with closed-form center hubs (the
+    ``Mesh2D.central_node`` rule per cluster)."""
+    domain_of, hubs = grid2d_domains(
+        config.width, config.height, num_domains
+    )
+    return DomainMap(domain_of, hubs, topology.central_node())
+
+
+def _domains_graph_grid2d(config, topology, num_domains: int) -> DomainMap:
+    """Grid clusters on a graph-described 2D layout; hubs by
+    intra-domain distance minimization (express links shift centers)."""
+    domain_of, _ = grid2d_domains(config.width, config.height, num_domains)
+    hubs = graph_domain_hubs(topology, domain_of)
+    return DomainMap(domain_of, hubs, topology.central_node())
+
+
+def _domains_grid3d(config, topology, num_domains: int) -> DomainMap:
+    """Layer bands along z (one per layer by default)."""
+    domain_of = grid3d_domains(
+        config.width, config.height, config.depth, num_domains
+    )
+    hubs = graph_domain_hubs(topology, domain_of)
+    return DomainMap(domain_of, hubs, topology.central_node())
+
+
+def _domains_chiplet(config, topology, num_domains: int) -> DomainMap:
+    """Tile-aligned clusters (one domain per chiplet by default);
+    domains never split a hardware tile."""
+    domain_of, _ = grid2d_domains(
+        config.width, config.height, num_domains,
+        multiple=config.chiplet_tile,
+    )
+    hubs = graph_domain_hubs(topology, domain_of)
+    return DomainMap(domain_of, hubs, topology.central_node())
+
+
 _ENTRIES = (
     TopologyEntry(
         "mesh", "2D mesh, XY routing (the paper's baseline, Table 2)",
         _prepare_grid2d,
         lambda config: Mesh2D(config.width, config.height),
+        domains=_domains_grid2d,
     ),
     TopologyEntry(
         "torus", "2D torus with shorter-wrap XY routing (paper §6.3)",
         _prepare_grid2d,
         lambda config: Torus2D(config.width, config.height),
+        domains=_domains_grid2d,
     ),
     TopologyEntry(
         "mesh3d", "3D mesh, XYZ dimension-order routing",
         _prepare_grid3d,
         lambda config: zoo.mesh3d(config.width, config.height, config.depth),
+        domains=_domains_grid3d,
     ),
     TopologyEntry(
         "torus3d", "3D torus, XYZ dimension-order routing",
         _prepare_grid3d,
         lambda config: zoo.torus3d(config.width, config.height, config.depth),
+        domains=_domains_grid3d,
     ),
     TopologyEntry(
         "chiplet",
@@ -153,6 +206,7 @@ _ENTRIES = (
         lambda config: zoo.chiplet(
             config.width, config.height, config.chiplet_tile
         ),
+        domains=_domains_chiplet,
     ),
     TopologyEntry(
         "express",
@@ -161,6 +215,7 @@ _ENTRIES = (
         lambda config: zoo.express(
             config.width, config.height, config.express_stride
         ),
+        domains=_domains_graph_grid2d,
     ),
 )
 
@@ -185,3 +240,22 @@ def prepare_config(config) -> None:
 def build_topology(config):
     """Construct the topology a prepared config describes."""
     return TOPOLOGIES[config.topology].build(config)
+
+
+def domain_map(config, topology, num_domains: int = 0) -> DomainMap:
+    """Partition *topology* into control domains for *config*.
+
+    Dispatches to the registered layout's natural clustering rule
+    (see :class:`TopologyEntry.domains`); ``num_domains == 0`` lets the
+    layout pick (grid: ~sqrt-side clusters; 3D: one domain per layer;
+    chiplet: one domain per tile).  The returned
+    :class:`~repro.control.domains.DomainMap` exposes ``domain_of`` and
+    per-domain hubs consistent with ``topology.central_node()``.
+    """
+    entry = TOPOLOGIES.get(config.topology)
+    if entry is None or entry.domains is None:
+        raise ValueError(
+            f"topology {config.topology!r} has no control-domain "
+            f"partition rule"
+        )
+    return entry.domains(config, topology, num_domains)

@@ -34,6 +34,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--category", "X"])
 
+    def test_hierarchical_flag_defaults(self):
+        args = build_parser().parse_args(["--controller", "hierarchical"])
+        assert args.controller_domains == 0  # topology's natural partition
+        assert args.controller_mode == "global"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--controller-mode", "anarchic"])
+
 
 class TestMain:
     def test_basic_run(self, capsys):
@@ -68,6 +75,43 @@ class TestMain:
                    "--network", "buffered", "--topology", "torus",
                    "--locality", "exponential"])
         assert rc == 0
+
+    def test_run_alias_is_the_default_command(self, capsys):
+        rc = main(["run", "--nodes", "16", "--cycles", "1200",
+                   "--epoch", "400"])
+        assert rc == 0
+        assert "system throughput" in capsys.readouterr().out
+
+    def test_hierarchical_controller_run(self, capsys):
+        rc = main(["run", "--nodes", "64", "--cycles", "1500",
+                   "--epoch", "500", "--controller", "hierarchical",
+                   "--controller-domains", "4", "--controller-mode",
+                   "local", "--check-invariants"])
+        assert rc == 0
+        assert "controller=hierarchical" in capsys.readouterr().out
+
+
+class TestRegistryListing:
+    def test_list_controllers(self, capsys):
+        assert main(["run", "--list-controllers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("none", "central", "distributed", "static",
+                     "hierarchical"):
+            assert name in out
+        assert '("hierarchical", domains, mode)' in out
+        assert "system throughput" not in out  # listing, not a run
+
+    def test_list_topologies(self, capsys):
+        assert main(["--list-topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mesh", "torus", "mesh3d", "torus3d", "chiplet",
+                     "express"):
+            assert name in out
+
+    def test_both_listings_in_one_call(self, capsys):
+        assert main(["--list-controllers", "--list-topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "controller" in out and "topology" in out
 
 
 class TestSweepSubcommand:

@@ -85,6 +85,81 @@ class TestJobSpec:
         with pytest.raises(TypeError):
             small_spec(controller="central")
 
+    def test_hierarchical_recipe_validation(self):
+        # Every legal arity is accepted...
+        for recipe in (("hierarchical",), ("hierarchical", 4),
+                       ("hierarchical", 0, "local"),
+                       ("hierarchical", 16, "global")):
+            assert small_spec(controller=recipe).controller == recipe
+        # ...and malformed domains/modes are rejected eagerly.
+        with pytest.raises(ValueError, match="domain count"):
+            small_spec(controller=("hierarchical", -1))
+        with pytest.raises(ValueError, match="domain count"):
+            small_spec(controller=("hierarchical", "four"))
+        with pytest.raises(ValueError, match="domain count"):
+            small_spec(controller=("hierarchical", True))
+        with pytest.raises(ValueError, match="mode"):
+            small_spec(controller=("hierarchical", 4, "anarchic"))
+        with pytest.raises(ValueError, match="at most"):
+            small_spec(controller=("hierarchical", 4, "local", "extra"))
+
+    def test_hierarchical_recipe_builds_controller(self):
+        from repro.control.hierarchical import HierarchicalController
+        from repro.harness.jobs import build_controller
+
+        ctl = build_controller(
+            small_spec(controller=("hierarchical", 4, "local"), epoch=400)
+        )
+        assert isinstance(ctl, HierarchicalController)
+        assert ctl.num_domains == 4
+        assert ctl.mode == "local"
+        assert ctl.params.epoch == 400
+        # Defaults: topology-chosen count, global reconciliation.
+        default = build_controller(small_spec(controller=("hierarchical",)))
+        assert default.num_domains == 0 and default.mode == "global"
+
+    def test_hierarchical_hash_distinguishes_layouts(self):
+        base = small_spec(controller=("hierarchical",)).content_hash()
+        assert small_spec(
+            controller=("hierarchical", 4)
+        ).content_hash() != base
+        assert small_spec(
+            controller=("hierarchical", 0, "local")
+        ).content_hash() != base
+
+    def test_hierarchical_hash_stable_across_processes(self):
+        """The hierarchical recipe rides the same canonical-JSON hash
+        contract as every other spec field."""
+        spec = small_spec(controller=("hierarchical", 4, "local"))
+        script = (
+            "from repro.harness import JobSpec; "
+            "print(JobSpec(('mcf',)*16, cycles=1200, seed=1, epoch=400, "
+            "controller=('hierarchical', 4, 'local')).content_hash())"
+        )
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED="7")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert proc.stdout.strip() == spec.content_hash()
+
+    def test_hierarchical_job_roundtrips_through_cache(self, tmp_path):
+        spec = small_spec(
+            app_names=("mcf",) * 64,
+            controller=("hierarchical", 4, "global"),
+            config=(("model_control_traffic", True), ("profile", True)),
+        )
+        res = run_job(spec)
+        assert res.perf.control_domains == 4
+        cache = ResultCache(tmp_path)
+        cache.put(spec, res)
+        hit = cache.get(spec)
+        assert results_equal(hit, res)
+        assert hit.perf.control_domains == 4
+        assert hit.perf.per_domain_control_flits == \
+            res.perf.per_domain_control_flits
+
     def test_rejects_non_scalar_config(self):
         with pytest.raises(TypeError):
             small_spec(config=(("faults", object()),))
