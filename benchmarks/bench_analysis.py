@@ -1,0 +1,65 @@
+"""Perf smoke for the static analyzer (DESIGN.md §S27).
+
+Not a paper figure: this guards the analyzer's interactive budget.  A
+cold full-tree run (src, tests, benchmarks; fixture corpus excluded)
+must stay within a few seconds — it is the perceived latency of the
+pre-commit hook — and a warm run against an unchanged tree must replay
+from the analysis cache dramatically faster, without touching a parser.
+
+``REPRO_ANALYSIS_BUDGET`` (seconds, default 10) loosens the cold budget
+on slow CI runners.
+"""
+
+import os
+import time
+
+from repro.analysis import ALL_RULES, AnalysisCache, run_analysis
+
+TARGETS = ["src", "tests", "benchmarks"]
+EXCLUDE = ["tests/analysis_fixtures/*"]
+
+COLD_BUDGET_SECONDS = float(os.environ.get("REPRO_ANALYSIS_BUDGET", "10"))
+
+
+def _run(cache=None):
+    start = time.perf_counter()
+    findings = run_analysis(
+        TARGETS, ALL_RULES, exclude=EXCLUDE, cache=cache
+    )
+    return findings, time.perf_counter() - start
+
+
+def test_analyzer_cold_and_warm_budgets(tmp_path, report):
+    store = str(tmp_path / "analysis-cache.pickle")
+
+    cold_findings, t_plain = _run()
+
+    cache = AnalysisCache(store)
+    cached_findings, t_cold = _run(cache)
+    cache.save()
+
+    cache = AnalysisCache(store)
+    warm_findings, t_warm = _run(cache)
+    validated = cache.hits
+
+    speedup = t_cold / max(t_warm, 1e-9)
+    rows = [
+        ("cold, no cache", f"{t_plain:.3f}s"),
+        ("cold, populating cache", f"{t_cold:.3f}s"),
+        (f"warm replay ({validated} files validated)", f"{t_warm:.4f}s"),
+        ("warm speedup", f"{speedup:.0f}x"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    lines = ["repro.analysis full-tree perf smoke"]
+    lines += [f"  {label.ljust(width)}  {value}" for label, value in rows]
+    report("analysis_perf", "\n".join(lines))
+
+    assert cold_findings == cached_findings == warm_findings
+    assert cold_findings == [], cold_findings  # the policed tree is clean
+    assert cache.misses == 0
+    assert validated > 0
+    assert t_cold < COLD_BUDGET_SECONDS
+    # "measurably faster" with a wide margin: replay skips parsing and
+    # every rule walk, so anything under half the cold time is a fail-
+    # safe bound, not a tight one.
+    assert t_warm < t_cold / 2

@@ -272,7 +272,7 @@ def build_chaos_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--epoch", type=int, default=2_000)
     parser.add_argument(
-        "--controller", choices=("none", "central", "static", "hierarchical"),
+        "--controller", choices=CONTROLLER_NAMES,
         default="none",
     )
     parser.add_argument("--static-rate", type=float, default=0.5)

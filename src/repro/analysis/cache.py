@@ -1,0 +1,148 @@
+"""Warm-run cache keeping repeated analyzer invocations fast.
+
+The obvious design — pickling each file's ``ast.Module`` — loses:
+rebuilding a pickled AST's node objects costs ~2.5x a fresh
+``ast.parse`` (the parser is C, unpickling is per-object Python), so a
+"warm" run would be *slower* than a cold one.  What actually repeats
+across pre-commit invocations is the whole-tree result, so the cache
+stores two cheap layers instead:
+
+* per file — ``path -> ((size, mtime_ns), sha256)``.  An unchanged stat
+  key validates a file without even reading it; a changed stat with an
+  unchanged hash (``touch``, checkout churn) refreshes the stat key.
+* per run — a fingerprint over the ordered file digests plus the chosen
+  rule ids maps to the run's findings.  When every file validates and
+  the fingerprint matches, the findings replay with no parsing and no
+  rule walks at all; any change falls back to a full (cold-speed) run.
+
+This is sound because every rule is a pure function of the analyzed
+files' bytes: same bytes, same rule set, same findings.  The store is
+versioned by a schema tag and the Python minor version, writes are
+atomic (``os.replace``) so a Ctrl-C mid-save never corrupts it, and a
+corrupt or mismatched store degrades to a cold run, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = ["AnalysisCache"]
+
+_SCHEMA = 2
+
+_FindingRow = Tuple[str, int, int, str, str]
+
+
+def _store_version() -> Tuple[int, int, int]:
+    return (_SCHEMA, sys.version_info[0], sys.version_info[1])
+
+
+class AnalysisCache:
+    """Pickle-backed file-digest and findings-replay store."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._files: Dict[str, Tuple[Tuple[int, int], str]] = {}
+        self._runs: Dict[str, List[_FindingRow]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("version") != _store_version():
+                return
+            self._files = payload["files"]
+            self._runs = payload["runs"]
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                KeyError, TypeError, ValueError, ImportError):
+            self._files = {}
+            self._runs = {}
+
+    # -- per-file digests ------------------------------------------------
+    def file_digest(self, path: str, stat: os.stat_result) -> str:
+        """The sha256 of *path*, via the cache when it validates.
+
+        An unchanged ``(size, mtime_ns)`` trusts the stored digest
+        without reading the file; a changed stat re-hashes and either
+        refreshes the stat key (content identical) or records the new
+        digest (a miss).  Raises ``OSError`` if the file is unreadable.
+        """
+        stat_key = (stat.st_size, stat.st_mtime_ns)
+        entry = self._files.get(path)
+        if entry is not None and entry[0] == stat_key:
+            self.hits += 1
+            return entry[1]
+        with open(path, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        if entry is not None and entry[1] == digest:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self._files[path] = (stat_key, digest)
+        self._dirty = True
+        return digest
+
+    # -- per-run findings ------------------------------------------------
+    @staticmethod
+    def run_fingerprint(
+        digests: Sequence[Tuple[str, str]], rule_ids: Sequence[str]
+    ) -> str:
+        """Stable key for one (file set, rule set) analysis run."""
+        hasher = hashlib.sha256()
+        for rule_id in rule_ids:
+            hasher.update(rule_id.encode("utf-8") + b"\n")
+        hasher.update(b"--\n")
+        for path, digest in digests:
+            hasher.update(path.encode("utf-8") + b"\0" + digest.encode("utf-8"))
+
+        return hasher.hexdigest()
+
+    def get_run(self, fingerprint: str) -> Optional[List[Finding]]:
+        rows = self._runs.get(fingerprint)
+        if rows is None:
+            return None
+        return [
+            Finding(path=p, line=line, col=col, rule=rule, message=message)
+            for p, line, col, rule, message in rows
+        ]
+
+    def put_run(self, fingerprint: str, findings: Sequence[Finding]) -> None:
+        self._runs[fingerprint] = [
+            (f.path, f.line, f.col, f.rule, f.message) for f in findings
+        ]
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": _store_version(),
+            "files": self._files,
+            "runs": self._runs,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".analysis-cache-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        self._dirty = False

@@ -34,9 +34,15 @@ from __future__ import annotations
 
 import ast
 import dataclasses
+import fnmatch
 import pathlib
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.cache import AnalysisCache
 
 __all__ = [
     "Finding",
@@ -208,13 +214,30 @@ def dotted_name(
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
-def iter_python_files(paths: Sequence[str]) -> Iterator[pathlib.Path]:
-    """Every ``.py`` file under *paths*, in a deterministic order."""
+def _excluded(path: pathlib.Path, exclude: Sequence[str]) -> bool:
+    candidate = path.as_posix()
+    return any(fnmatch.fnmatch(candidate, pattern) for pattern in exclude)
+
+
+def iter_python_files(
+    paths: Sequence[str], exclude: Optional[Sequence[str]] = None
+) -> Iterator[pathlib.Path]:
+    """Every ``.py`` file under *paths*, in a deterministic order.
+
+    *exclude* holds fnmatch glob patterns matched against the posix form
+    of each discovered path (e.g. ``tests/analysis_fixtures/*``); a file
+    named explicitly as a path argument is exempt from exclusion, so the
+    deliberately-violating fixture corpus can still be analyzed head-on.
+    """
     seen = set()
     for raw in paths:
         path = pathlib.Path(raw)
         if path.is_dir():
-            candidates: Iterable[pathlib.Path] = sorted(path.rglob("*.py"))
+            candidates: Iterable[pathlib.Path] = (
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not (exclude and _excluded(candidate, exclude))
+            )
         else:
             candidates = [path]
         for candidate in candidates:
@@ -226,6 +249,7 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[pathlib.Path]:
 
 def load_project(
     paths: Sequence[str],
+    exclude: Optional[Sequence[str]] = None,
 ) -> Tuple[Project, List[Finding]]:
     """Parse every file under *paths*.
 
@@ -233,17 +257,23 @@ def load_project(
     findings instead of aborting the run — the analyzer must keep
     working on a tree that is mid-edit.
     """
+    return _load_files(list(iter_python_files(paths, exclude=exclude)))
+
+
+def _load_files(
+    files: Sequence[pathlib.Path],
+) -> Tuple[Project, List[Finding]]:
     sources: List[SourceFile] = []
     errors: List[Finding] = []
-    for path in iter_python_files(paths):
+    for path in files:
+        name = str(path)
         try:
-            text = path.read_text(encoding="utf-8")
-            sources.append(SourceFile(str(path), text))
+            sources.append(SourceFile(name, path.read_text(encoding="utf-8")))
         except (OSError, SyntaxError, ValueError) as exc:
             line = getattr(exc, "lineno", None) or 1
             errors.append(
                 Finding(
-                    path=str(path),
+                    path=name,
                     line=int(line),
                     col=1,
                     rule="PARSE000",
@@ -258,14 +288,21 @@ def run_analysis(
     rules: Sequence[Rule],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    exclude: Optional[Sequence[str]] = None,
+    cache: Optional["AnalysisCache"] = None,
 ) -> List[Finding]:
     """Run *rules* over *paths* and return the surviving findings.
 
     ``select`` keeps only the listed rule ids; ``ignore`` removes the
     listed ids afterwards.  ``# repro: noqa`` suppressions are applied
     before returning; findings come back sorted by location then rule.
+
+    With *cache*, each file is first validated against its stored
+    stat/sha256 digest; if the whole (file set, rule set) fingerprint
+    matches a previous run, that run's findings replay without parsing
+    a single file.  The caller owns calling
+    :meth:`~repro.analysis.cache.AnalysisCache.save`.
     """
-    project, findings = load_project(paths)
     chosen = sorted(rules, key=lambda rule: rule.id)
     if select is not None:
         wanted = set(select)
@@ -273,6 +310,25 @@ def run_analysis(
     if ignore is not None:
         dropped = set(ignore)
         chosen = [rule for rule in chosen if rule.id not in dropped]
+
+    files = list(iter_python_files(paths, exclude=exclude))
+    fingerprint: Optional[str] = None
+    if cache is not None:
+        digests: List[Tuple[str, str]] = []
+        try:
+            for path in files:
+                name = str(path)
+                digests.append((name, cache.file_digest(name, path.stat())))
+        except OSError:
+            pass  # unreadable file: fall through to the full run (PARSE000)
+        else:
+            rule_ids = [rule.id for rule in chosen]
+            fingerprint = cache.run_fingerprint(digests, rule_ids)
+            replayed = cache.get_run(fingerprint)
+            if replayed is not None:
+                return replayed
+
+    project, findings = _load_files(files)
     by_path = {source.path: source for source in project}
     for rule in chosen:
         for finding in rule.check(project):
@@ -280,4 +336,7 @@ def run_analysis(
             if source is not None and source.suppressed(finding):
                 continue
             findings.append(finding)
-    return sorted(findings)
+    results = sorted(findings)
+    if cache is not None and fingerprint is not None:
+        cache.put_run(fingerprint, results)
+    return results

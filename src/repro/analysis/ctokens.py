@@ -1,0 +1,265 @@
+"""A deliberately small C tokenizer for the NATIVE contract rules.
+
+The native backend (``repro/native/kernels.c``) and its Python driver
+(``repro/native/accel.py``) communicate through three conventions that
+the C compiler cannot check from the Python side:
+
+* anonymous ``enum { CFG_* }`` / ``enum { CTR_* }`` blocks mirrored as
+  tuple-unpack assignments over ``range(N)``;
+* the pointer-table slot enum (``PT_*``) mirrored as ``PT_SLOT_NAMES``
+  and realized by the order of the ``arrays`` list literal;
+* ``#define`` constants (``SEQ_RING``, ``HIST_BUCKETS``, ``MAX_PORTS``,
+  ``KEY_MAX``, bit-packing shifts/masks) duplicated as Python module
+  constants across ``repro/network``.
+
+This module extracts exactly those three shapes from C source with a
+comment/string-stripping pass plus regexes — it is *not* a C parser and
+does not try to be; ``kernels.c`` is hand-written, single-file, and
+macro-light, which is the only dialect we need.  Object-like macro
+bodies are evaluated with a restricted constant-expression evaluator
+(integer/float literals with ``U``/``L`` suffixes, arithmetic, shifts,
+bitwise ops, references to earlier ``#define``\\ s) so values like
+``((1LL << 14) - 1)`` compare numerically against their Python mirrors.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "CDefine",
+    "CEnum",
+    "KernelContract",
+    "parse_kernel_source",
+    "strip_c_noise",
+]
+
+Number = Union[int, float]
+
+#: ``1LL``, ``0xFFu``, ``7UL`` → bare literal (suffix has no Python analog).
+_INT_SUFFIX_RE = re.compile(r"\b(0[xX][0-9a-fA-F]+|[0-9]+)[uUlL]{1,3}\b")
+#: Object-like macro: ``#define NAME body`` — a ``(`` immediately after
+#: the name (no space) makes it function-like, which we skip.
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_]\w*)(\()?\s*(.*?)\s*$")
+_ENUM_RE = re.compile(r"\benum\s*([A-Za-z_]\w*)?\s*\{([^}]*)\}", re.DOTALL)
+_ENUM_MEMBER_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:=\s*([^,]+))?")
+
+_ALLOWED_BINOPS = (
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod,
+    ast.LShift, ast.RShift, ast.BitOr, ast.BitAnd, ast.BitXor,
+)
+_ALLOWED_UNARYOPS = (ast.UAdd, ast.USub, ast.Invert)
+
+
+@dataclasses.dataclass(frozen=True)
+class CDefine:
+    """One object-like ``#define``: raw body plus evaluated value."""
+
+    name: str
+    body: str
+    value: Optional[Number]
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class CEnum:
+    """One ``enum { ... }`` block, members in declaration order."""
+
+    members: Tuple[str, ...]
+    line: int
+
+    def prefix(self) -> str:
+        """Common ``NAME_`` prefix of the members (e.g. ``"CFG_"``)."""
+        if not self.members:
+            return ""
+        head = self.members[0]
+        cut = head.find("_")
+        return head[: cut + 1] if cut >= 0 else head
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelContract:
+    """Everything the NATIVE rules cross-check out of one C file."""
+
+    path: str
+    defines: Dict[str, CDefine]
+    enums: Tuple[CEnum, ...]
+
+    def enum_with_prefix(self, prefix: str) -> Optional[CEnum]:
+        for enum in self.enums:
+            if enum.members and enum.members[0].startswith(prefix):
+                return enum
+        return None
+
+
+def strip_c_noise(text: str) -> str:
+    """Blank out comments and string/char literals, preserving lines.
+
+    Every removed character becomes a space (newlines survive) so byte
+    offsets map back to the original line numbers.
+    """
+    out: List[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif ch == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif ch == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(ch)
+                i += 1
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if ch == "\n" else " ")
+                i += 1
+        else:  # string / char
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+            elif ch == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if ch == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def eval_c_expr(
+    body: str, defines: Optional[Dict[str, CDefine]] = None
+) -> Optional[Number]:
+    """Evaluate a constant C expression, or ``None`` if it is not one.
+
+    Handles integer/float literals (with C suffixes), hex, arithmetic,
+    shifts, bitwise ops, and references to already-parsed object-like
+    macros.  Anything else — casts, ``sizeof``, function-like macros —
+    yields ``None`` rather than a guess.
+    """
+    cleaned = _INT_SUFFIX_RE.sub(r"\1", body).strip()
+    if not cleaned:
+        return None
+    try:
+        tree = ast.parse(cleaned, mode="eval")
+    except SyntaxError:
+        return None
+    return _eval_node(tree.body, defines or {}, depth=0)
+
+
+def _eval_node(
+    node: ast.AST, defines: Dict[str, CDefine], depth: int
+) -> Optional[Number]:
+    if depth > 16:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return node.value
+    if isinstance(node, ast.Name):
+        ref = defines.get(node.id)
+        if ref is None:
+            return None
+        if ref.value is not None:
+            return ref.value
+        return eval_c_expr(ref.body, defines)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, _ALLOWED_UNARYOPS):
+        operand = _eval_node(node.operand, defines, depth + 1)
+        if operand is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return -operand
+        if isinstance(node.op, ast.UAdd):
+            return +operand
+        return ~int(operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _ALLOWED_BINOPS):
+        left = _eval_node(node.left, defines, depth + 1)
+        right = _eval_node(node.right, defines, depth + 1)
+        if left is None or right is None:
+            return None
+        try:
+            return _apply_binop(node.op, left, right)
+        except (ArithmeticError, TypeError, ValueError):
+            return None
+    return None
+
+
+def _apply_binop(op: ast.operator, left: Number, right: Number) -> Number:
+    if isinstance(op, ast.Add):
+        return left + right
+    if isinstance(op, ast.Sub):
+        return left - right
+    if isinstance(op, ast.Mult):
+        return left * right
+    if isinstance(op, ast.Div):
+        return left / right
+    if isinstance(op, ast.FloorDiv):
+        return left // right
+    if isinstance(op, ast.Mod):
+        return left % right
+    if isinstance(op, ast.LShift):
+        return int(left) << int(right)
+    if isinstance(op, ast.RShift):
+        return int(left) >> int(right)
+    if isinstance(op, ast.BitOr):
+        return int(left) | int(right)
+    if isinstance(op, ast.BitAnd):
+        return int(left) & int(right)
+    return int(left) ^ int(right)
+
+
+def parse_kernel_source(path: str, text: str) -> KernelContract:
+    """Extract the mirrored surface (defines + enums) from C source."""
+    clean = strip_c_noise(text)
+    defines: Dict[str, CDefine] = {}
+    for lineno, line in enumerate(clean.splitlines(), start=1):
+        match = _DEFINE_RE.match(line)
+        if match is None or match.group(2) is not None:
+            continue  # not a #define, or function-like
+        name, body = match.group(1), match.group(3)
+        defines[name] = CDefine(
+            name=name,
+            body=body,
+            value=eval_c_expr(body, defines),
+            line=lineno,
+        )
+    enums: List[CEnum] = []
+    for match in _ENUM_RE.finditer(clean):
+        members = tuple(
+            member.group(1)
+            for member in _ENUM_MEMBER_RE.finditer(match.group(2))
+        )
+        if members:
+            line = clean.count("\n", 0, match.start()) + 1
+            enums.append(CEnum(members=members, line=line))
+    return KernelContract(path=path, defines=defines, enums=tuple(enums))

@@ -1,0 +1,528 @@
+"""NATIVE001–003: Python↔C drift detection for the native backend.
+
+The compiled backend's ABI is positional: ``accel.py`` builds a pointer
+table whose slot order must equal the ``PT_*`` enum in ``kernels.c``,
+mirrors the ``CFG_*``/``CTR_*`` enums as tuple-unpack assignments, and
+several ``repro.network`` modules duplicate ``#define`` constants
+(``SEQ_RING``, ``HIST_BUCKETS``, packing shifts/masks).  Before this
+rule family, that agreement was pinned by comments and caught only at
+runtime via the C side's slot-count guard (``CTR_ERROR=1``).
+
+Participation is structural: a module that declares a module-level
+``KERNEL_SOURCE = "kernels.c"`` constant is a kernel mirror; the C file
+is resolved relative to that module and parsed by
+:mod:`repro.analysis.ctokens`.  Constants elsewhere opt in per line::
+
+    SEQ_RING = 256  # repro: c-mirror[SEQ_RING]
+
+Rules:
+
+* **NATIVE001** — every ``(CFG_*, ...) = range(N)`` / ``(CTR_*, ...) =
+  range(N)`` mirror must match the C enum in name, order, and count
+  (including the ``*_NUM`` terminator), and ``N`` must equal the member
+  count.
+* **NATIVE002** — ``PT_SLOT_NAMES`` must list the C ``PT_*`` enum's
+  slots (terminator excluded) in order, and the ``arrays`` pointer-table
+  list literal must have exactly that many entries.
+* **NATIVE003** — every ``# repro: c-mirror[NAME]`` assignment must
+  evaluate to the same number as ``#define NAME`` in the kernel source;
+  a pragma naming an unknown define is itself a finding (stale mirror).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import pathlib
+import re
+import tokenize
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+)
+from repro.analysis.ctokens import (
+    CEnum,
+    KernelContract,
+    eval_c_expr,
+    parse_kernel_source,
+)
+
+__all__ = [
+    "Native001EnumMirror",
+    "Native002SlotTable",
+    "Native003DefineMirror",
+    "kernel_mirrors",
+]
+
+Number = Union[int, float]
+
+KERNEL_SOURCE_NAME = "KERNEL_SOURCE"
+SLOT_NAMES_NAME = "PT_SLOT_NAMES"
+ARRAYS_NAME = "arrays"
+_MIRROR_PRAGMA_RE = re.compile(r"#\s*repro:\s*c-mirror\[([A-Za-z_]\w*)\]")
+#: Enum prefixes mirrored as tuple-unpack assignments.
+_ENUM_PREFIXES = ("CFG_", "CTR_")
+_SLOT_PREFIX = "PT_"
+
+
+def _module_level_assigns(tree: ast.Module) -> Iterator[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            yield node
+
+
+def _kernel_source_decl(source: SourceFile) -> Optional[Tuple[str, int]]:
+    """The (filename, line) of a ``KERNEL_SOURCE = "..."`` declaration."""
+    for node in _module_level_assigns(source.tree):
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == KERNEL_SOURCE_NAME
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            return node.value.value, node.lineno
+    return None
+
+
+def kernel_mirrors(
+    project: Project,
+) -> List[Tuple[SourceFile, int, Optional[KernelContract], str]]:
+    """Every kernel-mirror module with its parsed C contract.
+
+    Returns ``(source, decl_line, contract_or_None, error)`` tuples;
+    ``contract`` is ``None`` when the named C file could not be read.
+    """
+    mirrors = []
+    for source in project:
+        decl = _kernel_source_decl(source)
+        if decl is None:
+            continue
+        filename, line = decl
+        c_path = pathlib.Path(source.path).parent / filename
+        try:
+            text = c_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            mirrors.append((source, line, None, f"{exc}"))
+            continue
+        contract = parse_kernel_source(str(c_path), text)
+        mirrors.append((source, line, contract, ""))
+    return mirrors
+
+
+def _tuple_unpack_mirror(
+    tree: ast.Module, prefix: str
+) -> Optional[Tuple[Tuple[str, ...], Optional[int], int]]:
+    """A ``(CFG_*, ...) = range(N)`` mirror: (names, N, line)."""
+    for node in _module_level_assigns(tree):
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Tuple):
+            continue
+        elts = node.targets[0].elts
+        if not elts or not all(isinstance(elt, ast.Name) for elt in elts):
+            continue
+        names = tuple(elt.id for elt in elts)  # type: ignore[union-attr]
+        if not names[0].startswith(prefix):
+            continue
+        range_arg: Optional[int] = None
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "range"
+            and len(value.args) == 1
+            and isinstance(value.args[0], ast.Constant)
+            and isinstance(value.args[0].value, int)
+        ):
+            range_arg = value.args[0].value
+        return names, range_arg, node.lineno
+    return None
+
+
+def _string_tuple(
+    tree: ast.Module, name: str
+) -> Optional[Tuple[Tuple[str, ...], int]]:
+    for node in _module_level_assigns(tree):
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+            and isinstance(node.value, (ast.Tuple, ast.List))
+            and all(
+                isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                for elt in node.value.elts
+            )
+        ):
+            return (
+                tuple(elt.value for elt in node.value.elts),  # type: ignore[misc]
+                node.lineno,
+            )
+    return None
+
+
+def _first_divergence(expected: Tuple[str, ...], got: Tuple[str, ...]) -> str:
+    """Human-readable description of how two name sequences differ."""
+    for index, (want, have) in enumerate(zip(expected, got)):
+        if want != have:
+            return (
+                f"position {index} is {want!r} in the C enum but {have!r} here"
+            )
+    return (
+        f"the C enum has {len(expected)} members but this mirror has "
+        f"{len(got)}"
+    )
+
+
+class Native001EnumMirror(Rule):
+    """CFG_*/CTR_* tuple-unpack mirrors must match the C enums exactly."""
+
+    id = "NATIVE001"
+    summary = (
+        "CFG_*/CTR_* Python mirrors match the kernels.c enums in "
+        "name, order, and count"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source, decl_line, contract, error in kernel_mirrors(project):
+            if contract is None:
+                yield Finding(
+                    path=source.path,
+                    line=decl_line,
+                    col=1,
+                    rule=self.id,
+                    message=f"cannot read kernel source: {error}",
+                )
+                continue
+            for prefix in _ENUM_PREFIXES:
+                mirror = _tuple_unpack_mirror(source.tree, prefix)
+                if mirror is None:
+                    continue  # this module does not mirror that enum
+                names, range_arg, line = mirror
+                enum = contract.enum_with_prefix(prefix)
+                if enum is None:
+                    yield Finding(
+                        path=source.path,
+                        line=line,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"no {prefix}* enum found in "
+                            f"{contract.path} to match this mirror"
+                        ),
+                    )
+                    continue
+                if names != enum.members:
+                    yield Finding(
+                        path=source.path,
+                        line=line,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"{prefix}* mirror drifted from "
+                            f"{contract.path}: "
+                            f"{_first_divergence(enum.members, names)}"
+                        ),
+                    )
+                elif range_arg is not None and range_arg != len(names):
+                    yield Finding(
+                        path=source.path,
+                        line=line,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"{prefix}* mirror unpacks {len(names)} names "
+                            f"from range({range_arg})"
+                        ),
+                    )
+
+
+def _slot_members(enum: CEnum) -> Tuple[str, ...]:
+    """Enum members minus the ``*_NUM_SLOTS``/``*_NUM`` terminator."""
+    members = enum.members
+    if members and members[-1].endswith(("_NUM_SLOTS", "_NUM")):
+        return members[:-1]
+    return members
+
+
+class Native002SlotTable(Rule):
+    """PT_SLOT_NAMES and the ``arrays`` literal must realize the PT enum."""
+
+    id = "NATIVE002"
+    summary = (
+        "pointer-table slot names and the arrays literal match the "
+        "kernels.c PT_* enum"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source, _decl_line, contract, _error in kernel_mirrors(project):
+            if contract is None:
+                continue  # NATIVE001 already reported the unreadable file
+            declared = _string_tuple(source.tree, SLOT_NAMES_NAME)
+            if declared is None:
+                continue
+            names, line = declared
+            enum = contract.enum_with_prefix(_SLOT_PREFIX)
+            if enum is None:
+                yield Finding(
+                    path=source.path,
+                    line=line,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"no {_SLOT_PREFIX}* enum found in {contract.path} "
+                        f"to match {SLOT_NAMES_NAME}"
+                    ),
+                )
+                continue
+            slots = _slot_members(enum)
+            if names != slots:
+                yield Finding(
+                    path=source.path,
+                    line=line,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"{SLOT_NAMES_NAME} drifted from the "
+                        f"{_SLOT_PREFIX}* enum in {contract.path}: "
+                        f"{_first_divergence(slots, names)}"
+                    ),
+                )
+            for node in ast.walk(source.tree):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == ARRAYS_NAME
+                    and isinstance(node.value, ast.List)
+                ):
+                    table_len = len(node.value.elts)
+                    if table_len != len(names):
+                        yield Finding(
+                            path=source.path,
+                            line=node.lineno,
+                            col=1,
+                            rule=self.id,
+                            message=(
+                                f"pointer table has {table_len} entries "
+                                f"but {SLOT_NAMES_NAME} declares "
+                                f"{len(names)} slots"
+                            ),
+                        )
+
+
+def _numeric_env(tree: ast.Module, aliases: Dict[str, str]) -> Dict[str, Number]:
+    """Module-level ``NAME = <constant expr>`` bindings, in order."""
+    env: Dict[str, Number] = {}
+    for node in _module_level_assigns(tree):
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            value = python_const_expr(node.value, env, aliases)
+            if value is not None:
+                env[node.targets[0].id] = value
+    return env
+
+
+def python_const_expr(
+    node: ast.AST,
+    env: Dict[str, Number],
+    aliases: Dict[str, str],
+) -> Optional[Number]:
+    """Evaluate a Python constant expression against *env*.
+
+    Mirrors :func:`repro.analysis.ctokens.eval_c_expr` on the Python
+    side, plus one domain idiom: ``np.iinfo(np.int64).max`` (the Python
+    spelling of C's ``KEY_MAX``) evaluates to ``2**63 - 1``.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return node.value
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "max"
+        and isinstance(node.value, ast.Call)
+        and dotted_name(node.value.func, aliases) == "numpy.iinfo"
+        and len(node.value.args) == 1
+        and dotted_name(node.value.args[0], aliases) == "numpy.int64"
+    ):
+        return 2**63 - 1
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub, ast.Invert)
+    ):
+        operand = python_const_expr(node.operand, env, aliases)
+        if operand is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return -operand
+        if isinstance(node.op, ast.UAdd):
+            return +operand
+        return ~int(operand)
+    if isinstance(node, ast.BinOp):
+        # Reuse the C evaluator by round-tripping through source text:
+        # both sides share Python expression syntax for these operators.
+        try:
+            return eval_c_expr(
+                ast.unparse(
+                    ast.Expression(
+                        body=_substitute(node, env, aliases)
+                    )
+                )
+            )
+        except (ValueError, TypeError):
+            return None
+    return None
+
+
+def _substitute(
+    node: ast.expr, env: Dict[str, Number], aliases: Dict[str, str]
+) -> ast.expr:
+    """Replace resolvable names/idioms in *node* with constants."""
+
+    class _Sub(ast.NodeTransformer):
+        def visit_Name(self, name: ast.Name) -> ast.expr:
+            if name.id in env:
+                return ast.copy_location(ast.Constant(env[name.id]), name)
+            return name
+
+        def visit_Attribute(self, attr: ast.Attribute) -> ast.expr:
+            value = python_const_expr(attr, env, aliases)
+            if value is not None:
+                return ast.copy_location(ast.Constant(value), attr)
+            return self.generic_visit(attr)  # type: ignore[return-value]
+
+    return ast.fix_missing_locations(_Sub().visit(node))
+
+
+class Native003DefineMirror(Rule):
+    """``# repro: c-mirror[NAME]`` constants must equal the C #define."""
+
+    id = "NATIVE003"
+    summary = (
+        "c-mirror pragma constants equal their kernels.c #define values"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        by_path: Dict[str, KernelContract] = {}
+        for _source, _line, contract, _error in kernel_mirrors(project):
+            if contract is not None:
+                # Several mirror modules may share one kernel source; compare
+                # each pragma against the deduplicated contract set.
+                by_path.setdefault(contract.path, contract)
+        contracts = list(by_path.values())
+        if not contracts:
+            return  # partial run without the kernel: nothing to compare
+        for source in project:
+            pragmas = self._pragma_lines(source)
+            if not pragmas:
+                continue
+            aliases = import_aliases(source.tree)
+            env = _numeric_env(source.tree, aliases)
+            assigns = self._assignments_by_line(source.tree)
+            for line, define_name in pragmas.items():
+                value_node = assigns.get(line)
+                if value_node is None:
+                    yield Finding(
+                        path=source.path,
+                        line=line,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"c-mirror[{define_name}] pragma is not on an "
+                            "assignment line"
+                        ),
+                    )
+                    continue
+                value = python_const_expr(value_node, env, aliases)
+                if value is None:
+                    yield Finding(
+                        path=source.path,
+                        line=line,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"c-mirror[{define_name}] value is not a "
+                            "constant expression the analyzer can evaluate"
+                        ),
+                    )
+                    continue
+                defined = [
+                    contract
+                    for contract in contracts
+                    if define_name in contract.defines
+                ]
+                if not defined:
+                    yield Finding(
+                        path=source.path,
+                        line=line,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"c-mirror[{define_name}] names no #define in "
+                            "any analyzed kernel source (stale pragma?)"
+                        ),
+                    )
+                    continue
+                for contract in defined:
+                    c_value = contract.defines[define_name].value
+                    if c_value is None:
+                        yield Finding(
+                            path=source.path,
+                            line=line,
+                            col=1,
+                            rule=self.id,
+                            message=(
+                                f"#define {define_name} in {contract.path} "
+                                "is not a constant the analyzer can evaluate"
+                            ),
+                        )
+                    elif c_value != value:
+                        yield Finding(
+                            path=source.path,
+                            line=line,
+                            col=1,
+                            rule=self.id,
+                            message=(
+                                f"mirror of {define_name} is {value!r} but "
+                                f"{contract.path} defines {c_value!r}"
+                            ),
+                        )
+
+    @staticmethod
+    def _pragma_lines(source: SourceFile) -> Dict[int, str]:
+        """``{lineno: define name}`` for real c-mirror pragma comments.
+
+        A cheap text scan pre-filters; candidates are then confirmed
+        against actual COMMENT tokens so a pragma *quoted in a
+        docstring* (e.g. this package's own documentation) never
+        counts.
+        """
+        if _MIRROR_PRAGMA_RE.search(source.text) is None:
+            return {}
+        pragmas: Dict[int, str] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source.text).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _MIRROR_PRAGMA_RE.search(token.string)
+                if match is not None:
+                    pragmas[token.start[0]] = match.group(1)
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return {}
+        return pragmas
+
+    @staticmethod
+    def _assignments_by_line(tree: ast.Module) -> Dict[int, ast.expr]:
+        assigns: Dict[int, ast.expr] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                assigns[node.lineno] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                assigns[node.lineno] = node.value
+        return assigns

@@ -1,0 +1,299 @@
+"""REG001: registry coherence across CLI, entry tables, and validators.
+
+PR 9 made controllers and topologies registry-described
+(:mod:`repro.control.registry`, :mod:`repro.topology.registry`), but the
+names still appear in three independent places that can drift apart:
+
+* the ``ControllerEntry``/``TopologyEntry`` tables (source of truth);
+* ``--controller``/``--topology`` CLI ``choices`` — safe when they
+  reference the registry's ``*_NAMES`` symbol, a drift hazard when a
+  parser hardcodes a literal tuple (exactly how the chaos CLI shipped
+  without ``distributed``);
+* the harness recipe validator (``CONTROLLER_KINDS``), which must equal
+  the registry entries that have a declarative recipe (entries whose
+  recipe column is ``"—"`` are CLI-only live objects).
+
+The rule parses the entry tables structurally (a module that defines
+the entry dataclass and a tuple-of-calls table participates), then
+checks every literal ``choices=(...)`` and every ``CONTROLLER_KINDS``
+tuple in the run against them.  Symbolic choices (``choices=
+CONTROLLER_NAMES``) are correct by construction and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding, Project, Rule, SourceFile
+
+__all__ = ["Reg001RegistryCoherence"]
+
+#: Registry families: (entry class, CLI flag, canonical module suffix).
+_FAMILIES = (
+    ("ControllerEntry", "--controller", "repro/control/registry.py"),
+    ("TopologyEntry", "--topology", "repro/topology/registry.py"),
+)
+#: Recipe column marking a CLI-only entry (no declarative harness recipe).
+_NO_RECIPE = "—"
+_KINDS_NAME = "CONTROLLER_KINDS"
+
+
+@dataclasses.dataclass(frozen=True)
+class _RegistryTable:
+    source_path: str
+    line: int
+    #: entry names in declaration order (may contain duplicates)
+    names: Tuple[str, ...]
+    #: names whose recipe column is a real recipe (not ``"—"``)
+    recipe_names: Tuple[str, ...]
+    #: (name, line) of duplicate declarations
+    duplicates: Tuple[Tuple[str, int], ...]
+
+
+def _call_entry(call: ast.Call, entry_class: str) -> Optional[Tuple[str, str]]:
+    """(name, recipe) of one ``Entry(...)`` call, or ``None``."""
+    func = call.func
+    func_name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else ""
+    )
+    if func_name != entry_class:
+        return None
+    name: Optional[str] = None
+    recipe = ""
+    if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+        call.args[0].value, str
+    ):
+        name = call.args[0].value
+    if len(call.args) >= 3 and isinstance(call.args[2], ast.Constant):
+        recipe = str(call.args[2].value)
+    for keyword in call.keywords:
+        if keyword.arg == "name" and isinstance(keyword.value, ast.Constant):
+            name = str(keyword.value.value)
+        elif keyword.arg == "recipe" and isinstance(
+            keyword.value, ast.Constant
+        ):
+            recipe = str(keyword.value.value)
+    if name is None:
+        return None
+    return name, recipe
+
+
+def _registry_tables(
+    project: Project, entry_class: str
+) -> List[Tuple[SourceFile, _RegistryTable]]:
+    tables = []
+    for source in project:
+        defines_class = any(
+            isinstance(node, ast.ClassDef) and node.name == entry_class
+            for node in ast.walk(source.tree)
+        )
+        if not defines_class:
+            continue
+        for node in source.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, (ast.Tuple, ast.List)):
+                continue
+            entries: List[Tuple[str, str, int]] = []
+            for elt in node.value.elts:
+                if not isinstance(elt, ast.Call):
+                    break
+                parsed = _call_entry(elt, entry_class)
+                if parsed is None:
+                    break
+                entries.append((parsed[0], parsed[1], elt.lineno))
+            else:
+                if entries:
+                    seen: Dict[str, int] = {}
+                    duplicates: List[Tuple[str, int]] = []
+                    for name, _recipe, line in entries:
+                        if name in seen:
+                            duplicates.append((name, line))
+                        else:
+                            seen[name] = line
+                    tables.append((
+                        source,
+                        _RegistryTable(
+                            source_path=source.path,
+                            line=node.lineno,
+                            names=tuple(e[0] for e in entries),
+                            recipe_names=tuple(
+                                e[0] for e in entries if e[1] != _NO_RECIPE
+                            ),
+                            duplicates=tuple(duplicates),
+                        ),
+                    ))
+                    break  # one table per module is the registry idiom
+    return tables
+
+
+def _pick_table(
+    tables: Sequence[Tuple[SourceFile, _RegistryTable]],
+    consumer_path: str,
+    canonical_suffix: str,
+) -> Optional[_RegistryTable]:
+    """The registry a consumer site should be compared against.
+
+    Same module first (self-contained fixtures), then the only table in
+    the run, then the canonically-located one; ambiguity means skip.
+    """
+    for source, table in tables:
+        if source.path == consumer_path:
+            return table
+    if len(tables) == 1:
+        return tables[0][1]
+    for _source, table in tables:
+        if table.source_path.replace("\\", "/").endswith(canonical_suffix):
+            return table
+    return None
+
+
+def _literal_choices(call: ast.Call) -> Optional[Tuple[Tuple[str, ...], int]]:
+    for keyword in call.keywords:
+        if keyword.arg != "choices":
+            continue
+        value = keyword.value
+        if isinstance(value, (ast.Tuple, ast.List)) and all(
+            isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            for elt in value.elts
+        ):
+            return (
+                tuple(elt.value for elt in value.elts),  # type: ignore[misc]
+                value.lineno,
+            )
+    return None
+
+
+def _set_drift(expected: Sequence[str], got: Sequence[str]) -> str:
+    missing = sorted(set(expected) - set(got))
+    extra = sorted(set(got) - set(expected))
+    parts = []
+    if missing:
+        parts.append(f"missing {', '.join(repr(m) for m in missing)}")
+    if extra:
+        parts.append(f"unknown {', '.join(repr(e) for e in extra)}")
+    return "; ".join(parts)
+
+
+class Reg001RegistryCoherence(Rule):
+    """CLI choices and recipe validators enumerate the registry exactly."""
+
+    id = "REG001"
+    summary = (
+        "--controller/--topology choices and CONTROLLER_KINDS match the "
+        "registry entry tables"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for entry_class, flag, canonical_suffix in _FAMILIES:
+            tables = _registry_tables(project, entry_class)
+            for source, table in tables:
+                for name, line in table.duplicates:
+                    yield Finding(
+                        path=source.path,
+                        line=line,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"duplicate registry entry {name!r}: later "
+                            "entries shadow earlier ones in name lookups"
+                        ),
+                    )
+            if not tables:
+                continue  # partial run without the registry
+            yield from self._check_cli_choices(
+                project, tables, flag, canonical_suffix
+            )
+            if entry_class == "ControllerEntry":
+                yield from self._check_recipe_kinds(
+                    project, tables, canonical_suffix
+                )
+
+    def _check_cli_choices(
+        self,
+        project: Project,
+        tables: Sequence[Tuple[SourceFile, _RegistryTable]],
+        flag: str,
+        canonical_suffix: str,
+    ) -> Iterator[Finding]:
+        for source in project:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "add_argument"
+                ):
+                    continue
+                if not (
+                    node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value == flag
+                ):
+                    continue
+                literal = _literal_choices(node)
+                if literal is None:
+                    continue  # symbolic choices: correct by construction
+                choices, line = literal
+                table = _pick_table(tables, source.path, canonical_suffix)
+                if table is None:
+                    continue
+                drift = _set_drift(table.names, choices)
+                if drift:
+                    yield Finding(
+                        path=source.path,
+                        line=line,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"literal {flag} choices drifted from the "
+                            f"registry in {table.source_path}: {drift} "
+                            "(reference the registry *_NAMES tuple instead)"
+                        ),
+                    )
+
+    def _check_recipe_kinds(
+        self,
+        project: Project,
+        tables: Sequence[Tuple[SourceFile, _RegistryTable]],
+        canonical_suffix: str,
+    ) -> Iterator[Finding]:
+        for source in project:
+            for node in source.tree.body:
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == _KINDS_NAME
+                    and isinstance(node.value, (ast.Tuple, ast.List))
+                    and all(
+                        isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                        for elt in node.value.elts
+                    )
+                ):
+                    continue
+                kinds = tuple(
+                    elt.value for elt in node.value.elts  # type: ignore[misc]
+                )
+                table = _pick_table(tables, source.path, canonical_suffix)
+                if table is None:
+                    continue
+                drift = _set_drift(table.recipe_names, kinds)
+                if drift:
+                    yield Finding(
+                        path=source.path,
+                        line=node.lineno,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"{_KINDS_NAME} drifted from the recipe-bearing "
+                            f"registry entries in {table.source_path}: "
+                            f"{drift}"
+                        ),
+                    )

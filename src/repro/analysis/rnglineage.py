@@ -1,0 +1,335 @@
+"""RNG001–002: stream-lineage analysis for the seeded RNG tree.
+
+Every random stream in the simulation descends from
+:func:`repro.rng.child_rng`, which derives a substream from ``(seed,
+label)``.  Two properties keep that tree trustworthy:
+
+* **RNG001 — labels are unique literals.**  Two call sites spawning
+  ``child_rng(seed, "arbitration")`` silently share a stream: the draws
+  interleave by call order and the supposedly independent components
+  become correlated.  Labels must be string literals (so the analyzer —
+  and a human — can enumerate the tree) and globally unique across
+  SIM_PACKAGES.  The one sanctioned duplicate shape is a *default-seed
+  fallback* (``rng if rng is not None else child_rng(0, label)``), which
+  deliberately mirrors the simulator-owned stream for standalone
+  construction; those sites carry an explicit ``noqa``.
+* **RNG002 — no draw is conditional on the backend.**  A draw executed
+  under ``if config.backend == ...`` advances the stream on one backend
+  but not the other, so every later draw diverges and the native
+  equivalence sweep can never pass.  The rule builds a module-level
+  call graph (``self.method`` / bare-function edges) so draws hidden
+  one call away from the branch are still caught.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+)
+
+__all__ = ["Rng001LabelLineage", "Rng002BackendConditionalDraw"]
+
+_CHILD_RNG = "repro.rng.child_rng"
+#: numpy Generator methods that advance the stream when called.
+_DRAW_METHODS = frozenset({
+    "bytes", "binomial", "choice", "exponential", "geometric", "integers",
+    "normal", "permutation", "permuted", "poisson", "random", "shuffle",
+    "standard_normal", "uniform",
+})
+_BACKEND_NAMES = frozenset({"backend", "_backend"})
+
+
+def _is_child_rng(call: ast.Call, aliases: Dict[str, str]) -> bool:
+    name = dotted_name(call.func, aliases)
+    return name == _CHILD_RNG or name == "child_rng"
+
+
+def _label_arg(call: ast.Call) -> Optional[ast.expr]:
+    if len(call.args) >= 2:
+        return call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+def _seed_arg(call: ast.Call) -> Optional[ast.expr]:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return keyword.value
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class _LabelSite:
+    path: str
+    line: int
+    col: int
+    label: str
+    #: ``child_rng(0, ...)`` — the default-seed fallback convention.
+    default_seed: bool
+
+
+class Rng001LabelLineage(Rule):
+    """child_rng labels are unique string literals across sim scope."""
+
+    id = "RNG001"
+    summary = (
+        "child_rng labels are unique string literals across SIM_PACKAGES"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        sites: List[_LabelSite] = []
+        for source in project.sim_files():
+            aliases = import_aliases(source.tree)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_child_rng(node, aliases):
+                    continue
+                label = _label_arg(node)
+                if label is None:
+                    continue  # arity error; the call fails at runtime
+                if not (
+                    isinstance(label, ast.Constant)
+                    and isinstance(label.value, str)
+                ):
+                    yield Finding(
+                        path=source.path,
+                        line=label.lineno,
+                        col=label.col_offset + 1,
+                        rule=self.id,
+                        message=(
+                            "child_rng label must be a string literal so "
+                            "the stream tree is statically enumerable"
+                        ),
+                    )
+                    continue
+                seed = _seed_arg(node)
+                sites.append(
+                    _LabelSite(
+                        path=source.path,
+                        line=label.lineno,
+                        col=label.col_offset + 1,
+                        label=label.value,
+                        default_seed=(
+                            isinstance(seed, ast.Constant) and seed.value == 0
+                        ),
+                    )
+                )
+        by_label: Dict[str, List[_LabelSite]] = {}
+        for site in sorted(sites, key=lambda s: (s.path, s.line, s.col)):
+            by_label.setdefault(site.label, []).append(site)
+        for label, group in sorted(by_label.items()):
+            if len(group) < 2:
+                continue
+            yield from self._duplicate_findings(label, group)
+
+    def _duplicate_findings(
+        self, label: str, group: List[_LabelSite]
+    ) -> Iterator[Finding]:
+        seeded = [site for site in group if not site.default_seed]
+        fallbacks = [site for site in group if site.default_seed]
+        # Flag default-seed fallbacks whenever a seeded primary exists,
+        # and all-but-the-first of the rest: the finding (and any noqa
+        # acknowledging a deliberate mirror) lands on the fallback site.
+        flagged: List[_LabelSite] = []
+        if seeded:
+            flagged.extend(seeded[1:])
+            flagged.extend(fallbacks)
+        else:
+            flagged.extend(fallbacks[1:])
+        primary = seeded[0] if seeded else fallbacks[0]
+        for site in flagged:
+            yield Finding(
+                path=site.path,
+                line=site.line,
+                col=site.col,
+                rule=self.id,
+                message=(
+                    f"duplicate child_rng label {label!r} (also spawned at "
+                    f"{primary.path}:{primary.line}); duplicate labels "
+                    "correlate supposedly independent streams"
+                ),
+            )
+
+
+def _is_draw_call(call: ast.Call, aliases: Dict[str, str]) -> bool:
+    """A call that advances an RNG stream directly."""
+    if _is_child_rng(call, aliases):
+        return True
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _DRAW_METHODS:
+        receiver = func.value
+        tail = (
+            receiver.attr
+            if isinstance(receiver, ast.Attribute)
+            else receiver.id if isinstance(receiver, ast.Name) else ""
+        )
+        return "rng" in tail.lower()
+    return False
+
+
+def _local_callee(call: ast.Call) -> Optional[str]:
+    """Qualified name of an intra-module callee, or ``None``.
+
+    ``self.foo()`` inside class ``C`` resolves to ``C.foo`` (the caller
+    supplies the class name); a bare ``foo()`` resolves to ``foo``.
+    """
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return f"self.{func.attr}"
+    return None
+
+
+def _mentions_backend(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id in _BACKEND_NAMES:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _BACKEND_NAMES:
+            return True
+    return False
+
+
+class Rng002BackendConditionalDraw(Rule):
+    """No RNG draw may execute conditionally on the backend choice."""
+
+    id = "RNG002"
+    summary = (
+        "RNG draws never execute under a backend-dependent branch "
+        "(streams must advance identically on every backend)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.sim_files():
+            aliases = import_aliases(source.tree)
+            drawing = self._drawing_functions(source.tree, aliases)
+            seen: Set[Finding] = set()
+            for scope_name, func in self._functions(source.tree):
+                for body in self._backend_branches(func):
+                    for finding in self._draws_in(
+                        source, aliases, drawing, scope_name, body
+                    ):
+                        # Nested backend-ifs walk overlapping bodies;
+                        # report each draw site once.
+                        if finding not in seen:
+                            seen.add(finding)
+                            yield finding
+
+    @staticmethod
+    def _functions(
+        tree: ast.Module,
+    ) -> Iterator[Tuple[Optional[str], ast.AST]]:
+        """(enclosing class name, function node) pairs.
+
+        Only top-level functions and class methods are enumerated;
+        nested functions are covered by the walk over their enclosure.
+        """
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield None, node
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield node.name, item
+
+    def _drawing_functions(
+        self, tree: ast.Module, aliases: Dict[str, str]
+    ) -> Set[str]:
+        """Names of module functions/methods that (transitively) draw."""
+        direct: Set[str] = set()
+        edges: Dict[str, Set[str]] = {}
+        defs: List[Tuple[str, ast.AST]] = []
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs.append((node.name, node))
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        defs.append((f"{node.name}.{item.name}", item))
+        for qual, func in defs:
+            callees: Set[str] = set()
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _is_draw_call(node, aliases):
+                    direct.add(qual)
+                callee = _local_callee(node)
+                if callee is None:
+                    continue
+                if callee.startswith("self."):
+                    cls = qual.rsplit(".", 1)[0] if "." in qual else ""
+                    callees.add(f"{cls}.{callee[len('self.'):]}")
+                else:
+                    callees.add(callee)
+            edges[qual] = callees
+        # Propagate draw-ness backwards over call edges to a fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for qual, callees in edges.items():
+                if qual not in direct and callees & direct:
+                    direct.add(qual)
+                    changed = True
+        return direct
+
+    @staticmethod
+    def _backend_branches(func: ast.AST) -> Iterator[List[ast.AST]]:
+        """Statement/expression bodies guarded by a backend test."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.If) and _mentions_backend(node.test):
+                yield list(node.body) + list(node.orelse)
+            elif isinstance(node, ast.IfExp) and _mentions_backend(node.test):
+                yield [node.body, node.orelse]
+
+    def _draws_in(
+        self,
+        source: SourceFile,
+        aliases: Dict[str, str],
+        drawing: Set[str],
+        scope_name: Optional[str],
+        body: List[ast.AST],
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason: Optional[str] = None
+                if _is_draw_call(node, aliases):
+                    reason = "draws from an RNG stream"
+                else:
+                    callee = _local_callee(node)
+                    if callee is not None:
+                        if callee.startswith("self.") and scope_name:
+                            callee = f"{scope_name}.{callee[len('self.'):]}"
+                        if callee in drawing:
+                            reason = f"calls {callee}(), which draws"
+                if reason is not None:
+                    yield Finding(
+                        path=source.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule=self.id,
+                        message=(
+                            f"backend-conditional branch {reason}: stream "
+                            "positions diverge between backends, breaking "
+                            "bit-equivalence"
+                        ),
+                    )

@@ -1,0 +1,118 @@
+"""SARIF 2.1.0 serialization for analyzer findings.
+
+GitHub code scanning (and most SARIF viewers) consume a minimal
+profile: one ``run`` with a ``tool.driver`` describing the rules and a
+flat ``results`` array with physical locations.  We emit exactly that —
+static analysis results format, version 2.1.0, schema-pinned — so the
+CI ``github/codeql-action/upload-sarif`` step can publish findings as
+code-scanning alerts with no adapter.
+
+Only stdlib ``json`` is involved; the document is built as plain dicts
+and is deliberately stable (sorted keys, deterministic result order
+inherited from the analyzer) so SARIF artifacts diff cleanly between
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.core import Finding, Rule
+
+__all__ = ["sarif_document", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro.analysis"
+_INFO_URI = "https://example.invalid/repro/DESIGN.md#s27"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": "error"},
+        "helpUri": _INFO_URI,
+    }
+
+
+def _parse_rule_descriptor() -> Dict[str, object]:
+    return {
+        "id": "PARSE000",
+        "name": "ParseFailure",
+        "shortDescription": {
+            "text": "file could not be read or parsed as Python"
+        },
+        "defaultConfiguration": {"level": "error"},
+        "helpUri": _INFO_URI,
+    }
+
+
+def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "ROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    return result
+
+
+def sarif_document(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> Dict[str, object]:
+    """The findings of one run as a SARIF 2.1.0 log dict."""
+    descriptors: List[Dict[str, object]] = [
+        _rule_descriptor(rule) for rule in sorted(rules, key=lambda r: r.id)
+    ]
+    if any(finding.rule == "PARSE000" for finding in findings):
+        descriptors.append(_parse_rule_descriptor())
+        descriptors.sort(key=lambda d: str(d["id"]))
+    rule_index = {str(d["id"]): i for i, d in enumerate(descriptors)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _INFO_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "ROOT": {"description": {"text": "repository root"}}
+                },
+                "results": [
+                    _result(finding, rule_index) for finding in findings
+                ],
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def to_sarif(findings: Sequence[Finding], rules: Sequence[Rule]) -> str:
+    """Serialized SARIF log (stable formatting for clean artifact diffs)."""
+    return json.dumps(sarif_document(findings, rules), indent=2, sort_keys=True)

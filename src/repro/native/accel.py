@@ -25,14 +25,20 @@ from repro.native.build import NativeBuildError, load_library
 
 __all__ = ["NativeAccel", "NativeUnsupported"]
 
-_KEY_MAX = np.iinfo(np.int64).max
+#: The C translation unit this module mirrors, relative to this file.
+#: Declaring it makes the module a *kernel mirror* for the NATIVE rules
+#: in ``repro.analysis``: the enum/#define mirrors below are checked
+#: against the C source on every analyzer run, not just at runtime.
+KERNEL_SOURCE = "kernels.c"
 
-#: C-side port-count cap (MAX_PORTS in kernels.c).
-_MAX_PORTS = 64
+_KEY_MAX = np.iinfo(np.int64).max  # repro: c-mirror[KEY_MAX]
+
+#: C-side port-count cap.
+_MAX_PORTS = 64  # repro: c-mirror[MAX_PORTS]
 
 _ARB_CODES = {"oldest_first": 0, "youngest_first": 1, "random": 2}
 
-# cfg slots (must match the CFG_* enum in kernels.c)
+# cfg slots — mirror of the CFG_* enum in kernels.c, checked by NATIVE001.
 (
     CFG_N, CFG_P, CFG_DEPTH, CFG_EJECT_W, CFG_QCAP, CFG_SW, CFG_ARB,
     CFG_ISSUE_W, CFG_WINDOW, CFG_MSHR, CFG_REPLY_FLITS, CFG_L2_LAT,
@@ -40,7 +46,7 @@ _ARB_CODES = {"oldest_first": 0, "youngest_first": 1, "random": 2}
     CFG_NUM,
 ) = range(18)
 
-# ctr slots (must match the CTR_* enum in kernels.c)
+# ctr slots — mirror of the CTR_* enum in kernels.c, checked by NATIVE001.
 (
     CTR_CURSOR, CTR_SPOS, CTR_SSEEN, CTR_CYCLES, CTR_INJ, CTR_EJ_FLITS,
     CTR_HOPS, CTR_DEFL, CTR_BWRITES, CTR_BREADS, CTR_OCC, CTR_LAT_SUM,
@@ -50,8 +56,42 @@ _ARB_CODES = {"oldest_first": 0, "youngest_first": 1, "random": 2}
     CTR_ERROR, CTR_ACCEPTED, CTR_NUM,
 ) = range(27)
 
+#: Pointer-table slot names, in slot order — mirror of the PT_* enum in
+#: kernels.c (terminator excluded), checked by NATIVE002 together with
+#: the length of the ``arrays`` literal that realizes it below.
+PT_SLOT_NAMES = (
+    "PT_RING_META", "PT_RING_BIRTH", "PT_LAT_OUT", "PT_TARGET_FLAT",
+    "PT_LINK_UP", "PT_NEIGHBOR", "PT_REVERSE", "PT_P0TAB", "PT_P1TAB",
+    "PT_CONGESTED",
+    "PT_REQ_DEST", "PT_REQ_KIND", "PT_REQ_FLITS", "PT_REQ_STAMP",
+    "PT_REQ_SEQ", "PT_REQ_HEAD", "PT_REQ_COUNT",
+    "PT_RESP_DEST", "PT_RESP_KIND", "PT_RESP_FLITS", "PT_RESP_STAMP",
+    "PT_RESP_SEQ", "PT_RESP_HEAD", "PT_RESP_COUNT",
+    "PT_THR_COUNTER", "PT_THR_RATE", "PT_STARV_RING", "PT_STARV_SUM",
+    "PT_INJ_PER_NODE", "PT_STARVED_CYC", "PT_PORT_STARVED_CYC",
+    "PT_LAT_HIST",
+    "PT_G_META", "PT_G_BIRTH", "PT_G_KEY", "PT_G_AVAIL", "PT_G_OUTM",
+    "PT_G_OUTB",
+    "PT_H_KEY", "PT_H_OUT", "PT_W_NODE", "PT_W_IN", "PT_W_DOWN",
+    "PT_W_DPORT",
+    "PT_BUF_META", "PT_BUF_BIRTH", "PT_BUF_HEAD", "PT_BUF_COUNT",
+    "PT_RESERVED",
+    "PT_EJ_NODE", "PT_EJ_SRC", "PT_EJ_KIND", "PT_EJ_SEQ", "PT_EJ_CBIT",
+    "PT_CO_ACTIVE", "PT_CO_RETIRED", "PT_CO_ISSUE_POS", "PT_CO_RECV",
+    "PT_CO_COMPLETE", "PT_CO_ISSUED", "PT_CO_COMPLETED", "PT_CO_HEAD",
+    "PT_CO_GAP",
+    "PT_CO_EPOCH_INSNS", "PT_CO_STALL", "PT_CO_WSTALL", "PT_MISS_OUT",
+    "PT_VISITED",
+    "PT_MEM_SRV", "PT_MEM_REQ", "PT_MEM_SEQ", "PT_MEM_CNT",
+    "PT_PEND_S", "PT_PEND_R", "PT_PEND_Q", "PT_SCR_S", "PT_SCR_R",
+    "PT_SCR_Q",
+    "PT_CO_MISSES", "PT_CO_EPOCH_FLITS", "PT_ISSUE_DEST",
+)
+
 _ERRORS = {
-    1: "pointer-table slot count mismatch (rebuild the kernels)",
+    1: "pointer-table slot count mismatch — the Python table drifted "
+       "from the PT_* enum; run "
+       "`python -m repro.analysis src --select NATIVE002` and rebuild",
     2: "memory service ring overflow",
     3: "pending-reply scratch overflow",
     4: "ejection scratch overflow",
@@ -183,7 +223,8 @@ class NativeAccel:
         req, resp = net.request_queue, net.response_queue
         meter, gate = net.starvation, net.throttle
         stats = net.stats
-        # Slot order here IS the C enum in kernels.c — append-only.
+        # Slot order here IS PT_SLOT_NAMES (and therefore the PT_* enum
+        # in kernels.c) — append-only; NATIVE002 checks all three sides.
         arrays = [
             net._ring_meta, net._ring_birth, net._lat_out,
             net._target_flat, self._link_up, self._neighbor,
@@ -214,6 +255,13 @@ class NativeAccel:
             self._scr_s, self._scr_r, self._scr_q,
             cores.misses_issued, cores.epoch_flits, self._issue_dest,
         ]
+        if len(arrays) != len(PT_SLOT_NAMES):
+            raise NativeUnsupported(
+                f"pointer table has {len(arrays)} entries but "
+                f"PT_SLOT_NAMES declares {len(PT_SLOT_NAMES)} slots; the "
+                "table drifted from the kernels.c PT_* enum — run "
+                "`python -m repro.analysis src --select NATIVE002`"
+            )
         for a in arrays:
             assert a.flags["C_CONTIGUOUS"], "pointer-table arrays must be contiguous"
         self._arrays = arrays  # keep the buffers alive

@@ -43,7 +43,8 @@
 #define KIND_REQUEST 0
 #define KIND_REPLY 1
 
-/* Pointer-table slots; accel.py builds the table in this exact order. */
+/* Pointer-table slots; accel.py's PT_SLOT_NAMES/arrays mirror this
+ * order exactly — checked statically by NATIVE002 (repro.analysis). */
 enum {
     PT_RING_META = 0, PT_RING_BIRTH, PT_LAT_OUT, PT_TARGET_FLAT,
     PT_LINK_UP, PT_NEIGHBOR, PT_REVERSE, PT_P0TAB, PT_P1TAB, PT_CONGESTED,
@@ -67,7 +68,7 @@ enum {
     PT_NUM_SLOTS
 };
 
-/* cfg slots */
+/* cfg slots; mirrored in accel.py, checked by NATIVE001 */
 enum {
     CFG_N = 0, CFG_P, CFG_DEPTH, CFG_EJECT_W, CFG_QCAP, CFG_SW, CFG_ARB,
     CFG_ISSUE_W, CFG_WINDOW, CFG_MSHR, CFG_REPLY_FLITS, CFG_L2_LAT,
@@ -75,7 +76,7 @@ enum {
     CFG_NUM
 };
 
-/* ctr slots */
+/* ctr slots; mirrored in accel.py, checked by NATIVE001 */
 enum {
     CTR_CURSOR = 0, CTR_SPOS, CTR_SSEEN, CTR_CYCLES, CTR_INJ,
     CTR_EJ_FLITS, CTR_HOPS, CTR_DEFL, CTR_BWRITES, CTR_BREADS, CTR_OCC,

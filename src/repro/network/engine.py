@@ -75,7 +75,7 @@ __all__ = [
     "RouterEngine",
 ]
 
-_KEY_MAX = np.iinfo(np.int64).max
+_KEY_MAX = np.iinfo(np.int64).max  # repro: c-mirror[KEY_MAX]
 
 #: Largest network that precomputes (n, n) productive-route tables.
 _ROUTE_TABLE_MAX_NODES = 1024
@@ -955,7 +955,10 @@ class RouterEngine(NocModel):
         self.hop_latency = hop_latency
         self.arbitration = arbitration
         self._arb = ARBITRATION_POLICIES[arbitration]()
-        self._rng = rng if rng is not None else child_rng(0, "arbitration")
+        # Default-seed fallback for standalone construction; the
+        # simulator passes its own "arbitration" stream, which this
+        # label deliberately mirrors.
+        self._rng = rng if rng is not None else child_rng(0, "arbitration")  # repro: noqa[RNG001]
 
         n, p = self.num_nodes, topology.num_ports
         self.num_ports = p

@@ -147,7 +147,9 @@ class ApplicationBehaviorArray:
         self._mu, self._sigma = _lognormal_params(mean, var)
 
         self._phase_mult = np.ones(self.num_nodes)
-        rng = seed_rng if seed_rng is not None else child_rng(0, "phase-init")
+        # Default-seed fallback deliberately mirroring the simulator's
+        # "phase-init" stream for standalone construction.
+        rng = seed_rng if seed_rng is not None else child_rng(0, "phase-init")  # repro: noqa[RNG001]
         self._phase_timer = rng.geometric(
             1.0 / self.phase_length, size=self.num_nodes
         ).astype(np.int64)

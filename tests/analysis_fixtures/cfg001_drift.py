@@ -26,6 +26,6 @@ class JobSpec:
     seed: int
     cycles: int
 
-    def canonical(self):
+    def canonical(self):  # repro: noqa[CACHE001] (cache001_spec.py's job)
         payload = {"seed": self.seed, "extra_key": 0}
         return payload

@@ -1,0 +1,32 @@
+/* Fixture kernel source for the NATIVE rule tests.
+ *
+ * Deliberately uses define names that do not collide with the real
+ * kernels.c so c-mirror pragmas in this corpus never cross-talk with
+ * the production contract when both are analyzed in one run.
+ */
+
+#define WIDGET_RING 64
+#define WIDGET_MASK ((1LL << 6) - 1)
+#define WIDGET_MAX 0x7FLL
+#define GADGET_BUCKETS 16
+#define GADGET_RATE 128.0
+
+/* cfg slots */
+enum {
+    CFG_NODES = 0, CFG_PORTS, CFG_DEPTH_X,
+    CFG_NUM
+};
+
+/* ctr slots */
+enum {
+    CTR_TICKS = 0, CTR_FLITS_X, CTR_DROPS,
+    CTR_NUM
+};
+
+/* pointer-table slots */
+enum {
+    PT_RING = 0, PT_QUEUE, PT_STATS,
+    PT_NUM_SLOTS
+};
+
+int widget_step(long long *ring) { return (int)(ring[0] & WIDGET_MASK); }

@@ -1,0 +1,15 @@
+"""NATIVE001 fixture: reordered/truncated enum mirrors (2 findings).
+
+The CFG mirror swaps the first two members relative to kernels_ok.c;
+the CTR mirror drops one member (and unpacks a mismatched range).
+"""
+
+KERNEL_SOURCE = "kernels_ok.c"
+
+(
+    CFG_PORTS, CFG_NODES, CFG_DEPTH_X, CFG_NUM,
+) = range(4)
+
+(
+    CTR_TICKS, CTR_FLITS_X, CTR_NUM,
+) = range(3)

@@ -1,0 +1,15 @@
+"""NATIVE002 fixture: pointer-table slot drift (2 findings).
+
+``PT_SLOT_NAMES`` drops ``PT_QUEUE`` relative to kernels_ok.c, and the
+``arrays`` literal that realizes the table carries a third entry anyway.
+"""
+
+KERNEL_SOURCE = "kernels_ok.c"
+
+PT_SLOT_NAMES = ("PT_RING", "PT_STATS")
+
+
+class Accel:
+    def __init__(self, ring, queue, stats):
+        arrays = [ring, queue, stats]
+        self._arrays = arrays

@@ -1,0 +1,10 @@
+"""NATIVE003 fixture: #define mirror drift (2 findings).
+
+One c-mirror constant disagrees with kernels_ok.c numerically; a second
+pragma names a define that does not exist (a stale mirror).
+"""
+
+KERNEL_SOURCE = "kernels_ok.c"
+
+RING_SPAN = 63  # repro: c-mirror[WIDGET_RING]
+GHOST_LIMIT = 1  # repro: c-mirror[NO_SUCH_DEFINE]

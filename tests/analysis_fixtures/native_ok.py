@@ -1,0 +1,25 @@
+"""NATIVE fixture: a clean kernel mirror (0 findings)."""
+
+KERNEL_SOURCE = "kernels_ok.c"
+
+# cfg slots — mirror of the CFG_* enum in kernels_ok.c.
+(
+    CFG_NODES, CFG_PORTS, CFG_DEPTH_X, CFG_NUM,
+) = range(4)
+
+# ctr slots — mirror of the CTR_* enum in kernels_ok.c.
+(
+    CTR_TICKS, CTR_FLITS_X, CTR_DROPS, CTR_NUM,
+) = range(4)
+
+PT_SLOT_NAMES = ("PT_RING", "PT_QUEUE", "PT_STATS")
+
+RING_SPAN = 64  # repro: c-mirror[WIDGET_RING]
+RING_MASK = (1 << 6) - 1  # repro: c-mirror[WIDGET_MASK]
+RATE_CAP = 128  # repro: c-mirror[GADGET_RATE]
+
+
+class Accel:
+    def __init__(self, ring, queue, stats):
+        arrays = [ring, queue, stats]
+        self._arrays = arrays

@@ -1,0 +1,32 @@
+"""REG001 fixture: registry/CLI/recipe-validator drift (3 findings).
+
+The entry table declares a duplicate name, the literal ``--controller``
+choices omit two registry entries, and ``CONTROLLER_KINDS`` claims the
+recipe-less (CLI-only) entry as spec-buildable.
+"""
+
+import argparse
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ControllerEntry:
+    name: str
+    description: str
+    recipe: str
+
+
+_ENTRIES = (
+    ControllerEntry("none", "no control", '("none",)'),
+    ControllerEntry("central", "paper hub", '("central",)'),
+    ControllerEntry("live", "cli-only live object", "—"),
+    ControllerEntry("central", "duplicate declaration", '("central",)'),
+)
+
+CONTROLLER_KINDS = ("none", "central", "live")
+
+
+def build_registry_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--controller", choices=("none",), default="none")
+    return parser

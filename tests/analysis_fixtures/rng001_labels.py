@@ -1,0 +1,26 @@
+# repro: analysis-scope=sim
+"""RNG001 fixture: duplicate / non-literal child_rng labels (4 findings).
+
+Line roles: the second and third ``"alpha"`` spawns duplicate the first
+(the default-seed one is flagged as a fallback of the seeded primary),
+``label`` is not a literal, and ``"omega"`` duplicates across functions.
+"""
+
+from repro.rng import child_rng
+
+
+def streams(seed, label):
+    a = child_rng(seed, "alpha")
+    b = child_rng(seed, "alpha")
+    c = child_rng(0, "alpha")
+    d = child_rng(seed, label)
+    e = child_rng(seed, "beta")
+    return a, b, c, d, e
+
+
+def more_streams(seed):
+    return child_rng(seed, "omega")
+
+
+def yet_more_streams(seed):
+    return child_rng(seed, "omega")

@@ -1,0 +1,27 @@
+# repro: analysis-scope=sim
+"""RNG002 fixture: backend-conditional RNG draws (3 findings).
+
+A direct draw and an indirect draw (through a helper method the call
+graph resolves) sit inside an ``if config.backend`` branch, and a third
+draw hides in the ``else`` arm.  The unconditional draw at the end is
+fine: it advances the stream identically on every backend.
+"""
+
+
+class Engine:
+    def __init__(self, config, rng):
+        self.config = config
+        self._rng = rng
+
+    def _refill(self):
+        return self._rng.integers(0, 10, size=4)
+
+    def step(self, data):
+        if self.config.backend == "native":
+            noise = self._rng.random()
+            keys = self._refill()
+        else:
+            noise = 0.0
+            keys = self._rng.permutation(data)
+        steady = self._rng.integers(0, 4)
+        return noise, keys, steady

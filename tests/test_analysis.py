@@ -178,13 +178,20 @@ def test_fixture_directory_totals():
     for f in findings:
         by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
     assert by_rule == {
+        "CACHE001": 3,
+        "CFG001": 5,
         "DET001": 5,
         "DET002": 4,
         "DET003": 2,
         "DET004": 5,
-        "SCHEMA001": 3,
+        "NATIVE001": 2,
+        "NATIVE002": 2,
+        "NATIVE003": 2,
         "PHASE001": 4,
-        "CFG001": 5,
+        "REG001": 3,
+        "RNG001": 4,
+        "RNG002": 3,
+        "SCHEMA001": 3,
     }
 
 

@@ -1,0 +1,426 @@
+"""Tests for the cross-layer contract rules (NATIVE/RNG/CACHE/REG) and
+the analyzer infrastructure added alongside them (SARIF output, the
+findings baseline, and the AST cache).
+
+Same three layers as test_analysis.py:
+
+- exact per-rule findings over the contract fixtures in
+  ``tests/analysis_fixtures/``;
+- drift demonstrations against the *real* kernels.c / accel.py pair:
+  a reordered enum, a dropped pointer-table slot, and a changed
+  #define must each produce the corresponding NATIVE finding, while
+  the unmutated pair stays clean;
+- meta-tests: the full tree (src, tests, benchmarks — fixtures
+  excluded) exits 0, and the committed baseline is empty.
+"""
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    RULE_IDS,
+    AnalysisCache,
+    analyze,
+    sarif_document,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "analysis_fixtures"
+KERNELS_C = REPO / "src" / "repro" / "native" / "kernels.c"
+ACCEL_PY = REPO / "src" / "repro" / "native" / "accel.py"
+BASELINE = REPO / "analysis_baseline.json"
+
+NATIVE_RULES = ["NATIVE001", "NATIVE002", "NATIVE003"]
+
+
+def findings_for(path, **kwargs):
+    return analyze([str(path)], **kwargs)
+
+
+def as_tuples(findings):
+    return [(f.rule, f.line) for f in findings]
+
+
+def run_cli(*args, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fixture corpus: exact findings per rule
+# ----------------------------------------------------------------------
+def test_native_clean_mirror_has_no_findings():
+    assert findings_for(FIXTURES / "native_ok.py") == []
+
+
+def test_native001_fixture_exact_findings():
+    findings = findings_for(FIXTURES / "native001_reorder.py")
+    assert as_tuples(findings) == [("NATIVE001", 9), ("NATIVE001", 13)]
+    reordered, dropped = findings
+    assert "CFG_* mirror drifted" in reordered.message
+    assert "position 0 is 'CFG_NODES'" in reordered.message
+    assert "'CFG_PORTS' here" in reordered.message
+    assert "CTR_* mirror drifted" in dropped.message
+    assert "position 2 is 'CTR_DROPS'" in dropped.message
+
+
+def test_native002_fixture_exact_findings():
+    findings = findings_for(FIXTURES / "native002_slots.py")
+    assert as_tuples(findings) == [("NATIVE002", 9), ("NATIVE002", 14)]
+    table, arrays = findings
+    assert "PT_SLOT_NAMES drifted from the PT_* enum" in table.message
+    assert "position 1 is 'PT_QUEUE'" in table.message
+    assert "pointer table has 3 entries" in arrays.message
+    assert "declares 2 slots" in arrays.message
+
+
+def test_native003_fixture_exact_findings():
+    findings = findings_for(FIXTURES / "native003_defines.py")
+    assert as_tuples(findings) == [("NATIVE003", 9), ("NATIVE003", 10)]
+    drifted, stale = findings
+    assert "mirror of WIDGET_RING is 63" in drifted.message
+    assert "defines 64" in drifted.message
+    assert "c-mirror[NO_SUCH_DEFINE] names no #define" in stale.message
+
+
+def test_rng001_fixture_exact_findings():
+    findings = findings_for(FIXTURES / "rng001_labels.py")
+    assert as_tuples(findings) == [
+        ("RNG001", 14),
+        ("RNG001", 15),
+        ("RNG001", 16),
+        ("RNG001", 26),
+    ]
+    messages = [f.message for f in findings]
+    assert "duplicate child_rng label 'alpha'" in messages[0]
+    assert "duplicate child_rng label 'alpha'" in messages[1]
+    assert "must be a string literal" in messages[2]
+    assert "duplicate child_rng label 'omega'" in messages[3]
+    # the primary spawn sites and the unique 'beta' label are clean
+    assert {13, 17, 22}.isdisjoint({f.line for f in findings})
+
+
+def test_rng002_fixture_exact_findings():
+    findings = findings_for(FIXTURES / "rng002_backend.py")
+    assert as_tuples(findings) == [
+        ("RNG002", 21),
+        ("RNG002", 22),
+        ("RNG002", 25),
+    ]
+    direct, indirect, orelse = findings
+    assert "draws from an RNG stream" in direct.message
+    assert "calls Engine._refill(), which draws" in indirect.message
+    assert "draws from an RNG stream" in orelse.message
+    # the unconditional draw after the branch is fine
+    assert 26 not in {f.line for f in findings}
+
+
+def test_cache001_fixture_exact_findings():
+    findings = findings_for(FIXTURES / "cache001_spec.py")
+    assert as_tuples(findings) == [
+        ("CACHE001", 31),
+        ("CACHE001", 39),
+        ("CACHE001", 40),
+    ]
+    catch_all, stale, unreachable = findings
+    assert "no generic 'config' catch-all" in catch_all.message
+    assert "SimulationConfig.jitter" in stale.message
+    assert "not a declared field, property, or method" in stale.message
+    assert "config field 'width' is read here but unreachable" in (
+        unreachable.message
+    )
+    # reads of canonical fields and derived properties are clean
+    assert {37, 38}.isdisjoint({f.line for f in findings})
+
+
+def test_reg001_fixture_exact_findings():
+    findings = findings_for(FIXTURES / "reg001_registry.py")
+    assert as_tuples(findings) == [
+        ("REG001", 23),
+        ("REG001", 26),
+        ("REG001", 31),
+    ]
+    duplicate, kinds, choices = findings
+    assert "duplicate registry entry 'central'" in duplicate.message
+    assert "CONTROLLER_KINDS drifted" in kinds.message
+    assert "'live'" in kinds.message
+    assert "--controller choices drifted" in choices.message
+    assert "'central'" in choices.message and "'live'" in choices.message
+
+
+# ----------------------------------------------------------------------
+# Drift demonstrations against the real kernels.c / accel.py pair
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def native_pair(tmp_path):
+    """Copy the real native module pair into a scratch directory."""
+    shutil.copy(KERNELS_C, tmp_path / "kernels.c")
+    shutil.copy(ACCEL_PY, tmp_path / "accel.py")
+    return tmp_path
+
+
+def _native_findings(pair_dir):
+    return analyze([str(pair_dir / "accel.py")], select=NATIVE_RULES)
+
+
+def test_real_native_pair_is_clean(native_pair):
+    assert _native_findings(native_pair) == []
+
+
+def test_native001_catches_reordered_enum_in_real_kernels(native_pair):
+    c_path = native_pair / "kernels.c"
+    text = c_path.read_text(encoding="utf-8")
+    mutated = text.replace("CFG_N = 0, CFG_P,", "CFG_P = 0, CFG_N,", 1)
+    assert mutated != text
+    c_path.write_text(mutated, encoding="utf-8")
+    findings = _native_findings(native_pair)
+    assert any(
+        f.rule == "NATIVE001" and "position 0 is 'CFG_P'" in f.message
+        for f in findings
+    ), findings
+
+
+def test_native002_catches_dropped_slot_in_real_kernels(native_pair):
+    c_path = native_pair / "kernels.c"
+    text = c_path.read_text(encoding="utf-8")
+    mutated = text.replace(" PT_RING_BIRTH,", "", 1)
+    assert mutated != text
+    c_path.write_text(mutated, encoding="utf-8")
+    findings = _native_findings(native_pair)
+    assert any(
+        f.rule == "NATIVE002" and "PT_RING_BIRTH" in f.message
+        for f in findings
+    ), findings
+
+
+def test_native003_catches_changed_define_in_real_kernels(native_pair):
+    c_path = native_pair / "kernels.c"
+    text = c_path.read_text(encoding="utf-8")
+    mutated = text.replace("#define MAX_PORTS 64", "#define MAX_PORTS 63", 1)
+    assert mutated != text
+    c_path.write_text(mutated, encoding="utf-8")
+    findings = _native_findings(native_pair)
+    assert any(
+        f.rule == "NATIVE003"
+        and "mirror of MAX_PORTS is 64" in f.message
+        and "defines 63" in f.message
+        for f in findings
+    ), findings
+
+
+def test_native001_catches_mirror_drift_in_real_accel(native_pair):
+    py_path = native_pair / "accel.py"
+    text = py_path.read_text(encoding="utf-8")
+    mutated = text.replace("    CFG_N, CFG_P,", "    CFG_P, CFG_N,", 1)
+    assert mutated != text
+    py_path.write_text(mutated, encoding="utf-8")
+    findings = _native_findings(native_pair)
+    assert any(f.rule == "NATIVE001" for f in findings), findings
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+def test_sarif_document_shape():
+    findings = findings_for(FIXTURES / "native003_defines.py")
+    document = sarif_document(findings, ALL_RULES)
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.analysis"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert set(RULE_IDS) <= set(rule_ids)
+    assert len(run["results"]) == len(findings)
+    for result, finding in zip(run["results"], findings):
+        assert result["ruleId"] == finding.rule
+        assert rule_ids[result["ruleIndex"]] == finding.rule
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uriBaseId"] == "ROOT"
+        assert location["artifactLocation"]["uri"] == finding.path
+        assert location["region"]["startLine"] == finding.line
+
+
+def test_cli_sarif_format_is_valid_json(tmp_path):
+    artifact = tmp_path / "analysis.sarif"
+    proc = run_cli(
+        str(FIXTURES / "det003_rng.py"),
+        "--format", "sarif",
+        "--output", str(artifact),
+    )
+    assert proc.returncode == 1
+    document = json.loads(artifact.read_text(encoding="utf-8"))
+    assert document["version"] == "2.1.0"
+    results = document["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["DET003", "DET003"]
+    # stdout carries the same document
+    assert json.loads(proc.stdout) == document
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_suppresses_grandfathered_findings(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    target = str(FIXTURES / "det003_rng.py")
+    proc = run_cli(target, "--baseline", str(baseline), "--write-baseline")
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert len(payload["findings"]) == 2
+    # with the baseline in place the same run is clean
+    proc = run_cli(target, "--baseline", str(baseline))
+    assert proc.returncode == 0, proc.stdout
+    # dropping one entry resurfaces exactly one finding
+    payload["findings"] = payload["findings"][:1]
+    baseline.write_text(json.dumps(payload), encoding="utf-8")
+    proc = run_cli(target, "--baseline", str(baseline))
+    assert proc.returncode == 1
+    assert proc.stdout.count("DET003") == 1
+
+
+def test_baseline_matching_ignores_line_numbers(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    victim = tmp_path / "victim.py"
+    victim.write_text(
+        "# repro: analysis-scope=sim\nimport time\n\n"
+        "NOW = time.time()\n"
+    )
+    proc = run_cli(str(victim), "--baseline", str(baseline),
+                   "--write-baseline")
+    assert proc.returncode == 0
+    # shift the finding down two lines: still baselined
+    victim.write_text(
+        "# repro: analysis-scope=sim\nimport time\n\n\n\n"
+        "NOW = time.time()\n"
+    )
+    proc = run_cli(str(victim), "--baseline", str(baseline))
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_write_baseline_requires_baseline_path():
+    proc = run_cli("src", "--write-baseline")
+    assert proc.returncode == 2
+    assert "--write-baseline requires --baseline" in proc.stderr
+
+
+def test_committed_baseline_is_empty():
+    """The tree is clean, so the committed baseline grandfathers nothing."""
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    assert payload == {"version": 1, "findings": []}
+
+
+# ----------------------------------------------------------------------
+# AST cache
+# ----------------------------------------------------------------------
+def test_ast_cache_warm_run_hits_and_agrees(tmp_path):
+    store = tmp_path / "cache.pickle"
+    cold_cache = AnalysisCache(str(store))
+    cold = analyze([str(FIXTURES)], cache=cold_cache)
+    cold_cache.save()
+    assert cold_cache.hits == 0
+    assert cold_cache.misses > 0
+    warm_cache = AnalysisCache(str(store))
+    warm = analyze([str(FIXTURES)], cache=warm_cache)
+    assert warm_cache.hits == cold_cache.misses
+    assert warm_cache.misses == 0
+    assert as_tuples(warm) == as_tuples(cold)
+
+
+def test_ast_cache_invalidates_on_content_change(tmp_path):
+    store = tmp_path / "cache.pickle"
+    victim = tmp_path / "victim.py"
+    victim.write_text("# repro: analysis-scope=sim\nX = 1\n")
+    cache = AnalysisCache(str(store))
+    assert analyze([str(victim)], cache=cache) == []
+    cache.save()
+    victim.write_text(
+        "# repro: analysis-scope=sim\nimport time\nX = time.time()\n"
+    )
+    cache = AnalysisCache(str(store))
+    findings = analyze([str(victim)], cache=cache)
+    assert [f.rule for f in findings] == ["DET001"]
+    assert cache.misses == 1
+
+
+def test_ast_cache_survives_corrupt_store(tmp_path):
+    store = tmp_path / "cache.pickle"
+    store.write_bytes(b"not a pickle")
+    cache = AnalysisCache(str(store))
+    findings = analyze([str(FIXTURES / "det003_rng.py")], cache=cache)
+    assert [f.rule for f in findings] == ["DET003", "DET003"]
+    assert cache.misses > 0
+
+
+def test_cli_cache_stats(tmp_path):
+    store = tmp_path / "cache.pickle"
+    target = str(FIXTURES / "clean_ok.py")
+    proc = run_cli(target, "--cache", str(store), "--stats")
+    assert proc.returncode == 0
+    assert re.search(r"analysis-cache: 0 hit\(s\), \d+ miss", proc.stderr)
+    proc = run_cli(target, "--cache", str(store), "--stats")
+    assert proc.returncode == 0
+    assert re.search(r"analysis-cache: [1-9]\d* hit\(s\), 0 miss", proc.stderr)
+
+
+# ----------------------------------------------------------------------
+# Meta-tests: the real tree is clean end to end
+# ----------------------------------------------------------------------
+def test_cli_exits_zero_on_full_tree_with_fixture_exclude():
+    proc = run_cli(
+        "src", "tests", "benchmarks",
+        "--exclude", "tests/analysis_fixtures/*",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_exclude_does_not_apply_to_explicit_paths():
+    proc = run_cli(
+        str(FIXTURES / "det003_rng.py"),
+        "--exclude", "tests/analysis_fixtures/*",
+    )
+    assert proc.returncode == 1
+
+
+def test_accel_slot_table_matches_arrays_literal():
+    """PT_SLOT_NAMES and the arrays list in accel.py agree on arity."""
+    import ast as ast_mod
+
+    tree = ast_mod.parse(ACCEL_PY.read_text(encoding="utf-8"))
+    slot_names = arrays_len = None
+    for node in ast_mod.walk(tree):
+        if isinstance(node, ast_mod.Assign):
+            for target in node.targets:
+                if isinstance(target, ast_mod.Name):
+                    if target.id == "PT_SLOT_NAMES":
+                        slot_names = [
+                            elt.value for elt in node.value.elts
+                        ]
+                    elif target.id == "arrays" and isinstance(
+                        node.value, ast_mod.List
+                    ):
+                        arrays_len = len(node.value.elts)
+    assert slot_names is not None and arrays_len is not None
+    assert len(slot_names) == arrays_len
+    assert all(name.startswith("PT_") for name in slot_names)
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))
